@@ -1,0 +1,48 @@
+// Shared workload construction for the figure benches: the Dublin-like and
+// Seattle-like cities with synthetic bus traces, matching Section V-A's
+// stated scales (Dublin central area 80,000 x 80,000 ft, 100 passengers per
+// bus; Seattle central area 10,000 x 10,000 ft, 200 passengers per bus,
+// alpha = 0.001).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/eval/report.h"
+#include "src/eval/runner.h"
+#include "src/graph/road_network.h"
+
+namespace rap::bench {
+
+/// A workload plus ownership of its road network.
+struct CityWorkload {
+  std::unique_ptr<graph::RoadNetwork> net;
+  eval::Workload workload;
+};
+
+/// Dublin-like substrate: irregular radial city across ~80,000 ft,
+/// journey-pattern trace, 100 passengers/bus.
+[[nodiscard]] CityWorkload build_dublin(std::uint64_t seed,
+                                        std::size_t journeys = 120);
+
+/// Seattle-like substrate: partially grid-based city across ~10,000 ft,
+/// route-id trace, 200 passengers/bus.
+[[nodiscard]] CityWorkload build_seattle(std::uint64_t seed,
+                                         std::size_t journeys = 100);
+
+/// Runs each experiment, prints its table to stdout, and writes one CSV per
+/// experiment under `csv_dir` (skipped when empty).
+void run_and_report(const eval::Workload& workload,
+                    const std::vector<eval::ExperimentConfig>& configs,
+                    const std::filesystem::path& csv_dir);
+
+/// The paper's evaluation algorithm set for the general scenario.
+[[nodiscard]] std::vector<eval::AlgorithmId> general_algorithms();
+
+/// The algorithm set for the Manhattan scenario (adds Algorithms 3/4).
+[[nodiscard]] std::vector<eval::AlgorithmId> manhattan_algorithms();
+
+}  // namespace rap::bench

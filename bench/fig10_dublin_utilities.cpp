@@ -1,0 +1,57 @@
+// Figure 10 — Dublin bus trace, general scenario, impact of the utility
+// function. Shop in the *city* class, D = 20,000 ft; panels (a) threshold,
+// (b) decreasing utility i (linear), (c) decreasing utility ii (sqrt).
+// Series: Algorithms 1/2 vs MaxCardinality, MaxVehicles, MaxCustomers,
+// Random; x-axis k = 1..10; values = expected attracted customers/day.
+//
+// Flags: --reps (default 200; paper uses 1000), --seed, --journeys,
+//        --csv-dir (default bench_results), --d (default 20000).
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto journeys =
+      static_cast<std::size_t>(flags.get_int("journeys", 120));
+  const double d = flags.get_double("d", 20'000.0);
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::filesystem::path csv_dir =
+      flags.get_string("csv-dir", "bench_results");
+  for (const std::string& flag : flags.unused()) {
+    std::cerr << "unknown flag --" << flag << "\n";
+    return 2;
+  }
+
+  std::cout << "fig10: Dublin, general scenario, shop=city, D=" << d
+            << " ft, reps=" << reps << "\n\n";
+  const bench::CityWorkload city = bench::build_dublin(seed, journeys);
+  std::cout << "city: " << city.net->num_nodes() << " intersections, "
+            << city.net->num_edges() << " directed streets, "
+            << city.workload.flows.size() << " traffic flows\n\n";
+
+  std::vector<eval::ExperimentConfig> configs;
+  const std::pair<const char*, traffic::UtilityKind> panels[] = {
+      {"fig10a-threshold", traffic::UtilityKind::kThreshold},
+      {"fig10b-linear", traffic::UtilityKind::kLinear},
+      {"fig10c-sqrt", traffic::UtilityKind::kSqrt},
+  };
+  for (const auto& [name, kind] : panels) {
+    eval::ExperimentConfig config;
+    config.name = name;
+    config.utility = kind;
+    config.range = d;
+    config.shop_class = trace::LocationClass::kCity;
+    config.repetitions = reps;
+    config.seed = seed;
+    config.threads = threads;
+    config.algorithms = bench::general_algorithms();
+    configs.push_back(std::move(config));
+  }
+  bench::run_and_report(city.workload, configs, csv_dir);
+  return 0;
+}

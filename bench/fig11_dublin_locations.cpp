@@ -1,0 +1,57 @@
+// Figure 11 — Dublin bus trace, general scenario, impact of the shop
+// location and the threshold D. Decreasing utility i (linear); panels
+// (a) city centre, (b) city, (c) suburb, each with D = 20,000 ft (top) and
+// D = 10,000 ft (bottom).
+//
+// Flags: --reps (default 200), --seed, --journeys, --csv-dir.
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto journeys =
+      static_cast<std::size_t>(flags.get_int("journeys", 120));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::filesystem::path csv_dir =
+      flags.get_string("csv-dir", "bench_results");
+  for (const std::string& flag : flags.unused()) {
+    std::cerr << "unknown flag --" << flag << "\n";
+    return 2;
+  }
+
+  std::cout << "fig11: Dublin, general scenario, linear utility, shop "
+               "location x threshold sweep, reps="
+            << reps << "\n\n";
+  const bench::CityWorkload city = bench::build_dublin(seed, journeys);
+  std::cout << "city: " << city.net->num_nodes() << " intersections, "
+            << city.workload.flows.size() << " traffic flows\n\n";
+
+  const std::pair<const char*, trace::LocationClass> locations[] = {
+      {"center", trace::LocationClass::kCityCenter},
+      {"city", trace::LocationClass::kCity},
+      {"suburb", trace::LocationClass::kSuburb},
+  };
+  std::vector<eval::ExperimentConfig> configs;
+  for (const auto& [label, location] : locations) {
+    for (const double d : {20'000.0, 10'000.0}) {
+      eval::ExperimentConfig config;
+      config.name = std::string("fig11-") + label + "-d" +
+                    std::to_string(static_cast<int>(d));
+      config.utility = traffic::UtilityKind::kLinear;
+      config.range = d;
+      config.shop_class = location;
+      config.repetitions = reps;
+      config.seed = seed;
+      config.threads = threads;
+      config.algorithms = bench::general_algorithms();
+      configs.push_back(std::move(config));
+    }
+  }
+  bench::run_and_report(city.workload, configs, csv_dir);
+  return 0;
+}

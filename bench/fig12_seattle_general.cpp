@@ -1,0 +1,56 @@
+// Figure 12 — Seattle bus trace, general scenario (Section III, fixed
+// paths). Shop in the city; panels (a) threshold utility, (b) decreasing
+// utility i (linear), each with D = 2,500 ft (top) and D = 1,000 ft
+// (bottom).
+//
+// Flags: --reps (default 200), --seed, --journeys, --csv-dir.
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 200));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto journeys =
+      static_cast<std::size_t>(flags.get_int("journeys", 100));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::filesystem::path csv_dir =
+      flags.get_string("csv-dir", "bench_results");
+  for (const std::string& flag : flags.unused()) {
+    std::cerr << "unknown flag --" << flag << "\n";
+    return 2;
+  }
+
+  std::cout << "fig12: Seattle, general scenario, shop=city, utility x "
+               "threshold sweep, reps="
+            << reps << "\n\n";
+  const bench::CityWorkload city = bench::build_seattle(seed, journeys);
+  std::cout << "city: " << city.net->num_nodes() << " intersections, "
+            << city.workload.flows.size() << " traffic flows\n\n";
+
+  const std::pair<const char*, traffic::UtilityKind> panels[] = {
+      {"fig12a-threshold", traffic::UtilityKind::kThreshold},
+      {"fig12b-linear", traffic::UtilityKind::kLinear},
+  };
+  std::vector<eval::ExperimentConfig> configs;
+  for (const auto& [name, kind] : panels) {
+    for (const double d : {2'500.0, 1'000.0}) {
+      eval::ExperimentConfig config;
+      config.name = std::string(name) + "-d" +
+                    std::to_string(static_cast<int>(d));
+      config.utility = kind;
+      config.range = d;
+      config.shop_class = trace::LocationClass::kCity;
+      config.repetitions = reps;
+      config.seed = seed;
+      config.threads = threads;
+      config.algorithms = bench::general_algorithms();
+      configs.push_back(std::move(config));
+    }
+  }
+  bench::run_and_report(city.workload, configs, csv_dir);
+  return 0;
+}

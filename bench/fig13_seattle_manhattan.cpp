@@ -1,0 +1,64 @@
+// Figure 13 — Seattle bus trace under the MANHATTAN GRID scenario
+// (Section IV): flows choose among all of their shortest paths and reroute
+// through RAPs for the free advertisement. Same settings as Fig. 12
+// (shop in the city; {threshold, linear} x D in {2,500, 1,000} ft), with
+// the two-stage Algorithms 3/4 joining the comparison.
+//
+// The paper's two headline observations to look for in the output:
+//   * more customers than Fig. 12 at identical settings (route
+//     flexibility), and
+//   * Algorithms 3/4 competitive despite Seattle being only partially
+//     grid-based ("some performance degradations").
+//
+// Flags: --reps (default 100), --seed, --journeys, --csv-dir.
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 100));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto journeys =
+      static_cast<std::size_t>(flags.get_int("journeys", 100));
+  const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const std::filesystem::path csv_dir =
+      flags.get_string("csv-dir", "bench_results");
+  for (const std::string& flag : flags.unused()) {
+    std::cerr << "unknown flag --" << flag << "\n";
+    return 2;
+  }
+
+  std::cout << "fig13: Seattle, MANHATTAN scenario (flexible routing), "
+               "shop=city, utility x threshold sweep, reps="
+            << reps << "\n\n";
+  const bench::CityWorkload city = bench::build_seattle(seed, journeys);
+  std::cout << "city: " << city.net->num_nodes() << " intersections, "
+            << city.workload.flows.size() << " traffic flows\n\n";
+
+  const std::pair<const char*, traffic::UtilityKind> panels[] = {
+      {"fig13a-threshold", traffic::UtilityKind::kThreshold},
+      {"fig13b-linear", traffic::UtilityKind::kLinear},
+  };
+  std::vector<eval::ExperimentConfig> configs;
+  for (const auto& [name, kind] : panels) {
+    for (const double d : {2'500.0, 1'000.0}) {
+      eval::ExperimentConfig config;
+      config.name = std::string(name) + "-d" +
+                    std::to_string(static_cast<int>(d));
+      config.utility = kind;
+      config.range = d;
+      config.shop_class = trace::LocationClass::kCity;
+      config.repetitions = reps;
+      config.seed = seed;
+      config.threads = threads;
+      config.manhattan_scenario = true;
+      config.algorithms = bench::manhattan_algorithms();
+      configs.push_back(std::move(config));
+    }
+  }
+  bench::run_and_report(city.workload, configs, csv_dir);
+  return 0;
+}

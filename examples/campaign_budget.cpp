@@ -1,0 +1,115 @@
+// Budgeted multi-ad campaign: the advertiser has a *money* budget, not a
+// RAP count — downtown intersections cost more to equip than suburban
+// ones — and runs two ad creatives that appeal to different commuter
+// groups. Demonstrates the budgeted solver (the Khuller-Moss-Naor setting
+// the paper cites as [18]) and the multi-ad extension (Section VI's future
+// work), side by side on the same workload.
+//
+// Run: ./campaign_budget [--seed N] [--budget DOLLARS]
+#include <iostream>
+
+#include "src/citygen/radial_city.h"
+#include "src/core/ad_selection.h"
+#include "src/core/budgeted.h"
+#include "src/core/composite_greedy.h"
+#include "src/trace/classify.h"
+#include "src/trace/flow_extractor.h"
+#include "src/trace/generator.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 5));
+  const double budget = flags.get_double("budget", 25'000.0);
+
+  // City + flows (an irregular radial city, ~40,000 ft across).
+  util::Rng rng(seed);
+  citygen::RadialSpec city_spec;
+  city_spec.rings = 8;
+  city_spec.ring_spacing = 2'500.0;
+  const graph::RoadNetwork net = citygen::build_radial_city(city_spec, rng);
+  trace::TraceGenSpec trace_spec;
+  trace_spec.num_journeys = 70;
+  trace_spec.mean_runs_per_journey = 30.0;
+  trace_spec.sample_spacing = 700.0;
+  trace_spec.gps_noise = 100.0;
+  trace_spec.passengers_per_vehicle = 100.0;
+  trace_spec.alpha = 0.001;
+  const auto day = trace::generate_trace(net, trace_spec, rng);
+  const trace::MapMatcher matcher(net, 350.0);
+  trace::ExtractionOptions extract;
+  extract.passengers_per_vehicle = 100.0;
+  extract.alpha = 0.001;
+  const auto flows = trace::extract_flows(matcher, day.records, extract);
+
+  const auto classes = trace::classify_intersections(net, flows);
+  const auto city_nodes =
+      trace::nodes_in_class(classes, trace::LocationClass::kCity);
+  const graph::NodeId shop = city_nodes[rng.next_below(city_nodes.size())];
+  const traffic::LinearUtility utility(12'000.0);
+  const core::PlacementProblem problem(net, flows, shop, utility);
+  std::cout << "city: " << net.num_nodes() << " intersections, "
+            << flows.size() << " flows; shop at " << shop << "\n\n";
+
+  // --- Part 1: money budget. Installation costs scale with how central an
+  // intersection is (centre real estate is pricey).
+  std::vector<double> costs(net.num_nodes());
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+    switch (classes[v]) {
+      case trace::LocationClass::kCityCenter:
+        costs[v] = 9'000.0;
+        break;
+      case trace::LocationClass::kCity:
+        costs[v] = 5'000.0;
+        break;
+      case trace::LocationClass::kSuburb:
+        costs[v] = 2'000.0;
+        break;
+    }
+  }
+  const core::PlacementResult spent =
+      core::budgeted_placement(problem, costs, budget);
+  std::cout << "budget $" << util::format_fixed(budget, 0) << " buys "
+            << spent.nodes.size() << " RAPs (cost $"
+            << util::format_fixed(core::placement_cost(costs, spent.nodes), 0)
+            << ") attracting " << util::format_fixed(spent.customers, 1)
+            << " customers/day\n";
+  const core::PlacementResult same_count =
+      core::composite_greedy_placement(problem, spent.nodes.size());
+  std::cout << "(cost-blind Algorithm 2 with the same RAP count: "
+            << util::format_fixed(same_count.customers, 1)
+            << " customers/day at cost $"
+            << util::format_fixed(
+                   core::placement_cost(costs, same_count.nodes), 0)
+            << ")\n\n";
+
+  // --- Part 2: two creatives. Even-indexed flows respond to ad A,
+  // odd-indexed ones to ad B (a stand-in for, say, morning-coffee vs
+  // after-work audiences known from loyalty data).
+  std::vector<double> interests;
+  interests.reserve(flows.size() * 2);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    interests.push_back(f % 2 == 0 ? 1.0 : 0.15);  // ad A
+    interests.push_back(f % 2 == 0 ? 0.15 : 1.0);  // ad B
+  }
+  const core::InterestMatrix interest(flows.size(), 2, interests);
+  const core::AdPlacementResult targeted =
+      core::multi_ad_greedy_placement(problem, interest, 6);
+  const core::InterestMatrix compromise(
+      flows.size(), 1, std::vector<double>(flows.size(), 0.575));
+  const core::AdPlacementResult untargeted =
+      core::multi_ad_greedy_placement(problem, compromise, 6);
+
+  std::cout << "6 RAPs, two targeted creatives: "
+            << util::format_fixed(targeted.customers, 1)
+            << " customers/day; ads chosen per RAP:";
+  for (const core::AdAssignment& rap : targeted.raps) {
+    std::cout << " " << rap.node << (rap.ad == 0 ? "/A" : "/B");
+  }
+  std::cout << "\n6 RAPs, one compromise creative: "
+            << util::format_fixed(untargeted.customers, 1)
+            << " customers/day\n";
+  return 0;
+}

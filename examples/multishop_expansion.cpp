@@ -1,0 +1,94 @@
+// Multi-shop extension (Section III-A / future work): a chain with several
+// branches advertises with one shared RAP budget. A driver who receives the
+// ad detours to whichever branch is cheapest from where they are, so the
+// effective detour is the minimum over branches.
+//
+// The example compares: one downtown branch vs the same brand with an
+// added eastside branch, under the same RAP budget — showing both the
+// coverage gain and how the optimal RAP placement shifts.
+//
+// Run: ./multishop_expansion [--seed N] [--k N]
+#include <iostream>
+
+#include "src/citygen/partial_grid_city.h"
+#include "src/core/composite_greedy.h"
+#include "src/core/multishop.h"
+#include "src/trace/flow_extractor.h"
+#include "src/trace/generator.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 11));
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 6));
+
+  // A Seattle-like partial grid, 10,000 ft across.
+  util::Rng rng(seed);
+  citygen::PartialGridSpec city_spec;
+  city_spec.grid = {17, 17, 600.0, {0.0, 0.0}};
+  city_spec.edge_removal_prob = 0.06;
+  const citygen::PartialGridCity city(city_spec, rng);
+  const graph::RoadNetwork& net = city.network();
+
+  // Traffic flows from a synthetic trace.
+  trace::TraceGenSpec trace_spec;
+  trace_spec.num_journeys = 80;
+  trace_spec.mean_runs_per_journey = 25.0;
+  trace_spec.sample_spacing = 400.0;
+  trace_spec.gps_noise = 70.0;
+  trace_spec.passengers_per_vehicle = 200.0;
+  trace_spec.alpha = 0.001;
+  const auto day = trace::generate_trace(net, trace_spec, rng);
+  const trace::MapMatcher matcher(net, 280.0);
+  trace::ExtractionOptions extract;
+  extract.passengers_per_vehicle = 200.0;
+  extract.alpha = 0.001;
+  const auto flows = trace::extract_flows(matcher, day.records, extract);
+  std::cout << "city: " << net.num_nodes() << " intersections; "
+            << flows.size() << " flows, "
+            << traffic::total_population(flows) << " potential customers\n\n";
+
+  // Branch locations: downtown (near the centre) and eastside.
+  const geo::BBox bounds = net.bounds();
+  const auto nearest = [&](geo::Point p) {
+    graph::NodeId best = 0;
+    for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (geo::squared_distance(net.position(v), p) <
+          geo::squared_distance(net.position(best), p)) {
+        best = v;
+      }
+    }
+    return best;
+  };
+  const graph::NodeId downtown = nearest(bounds.center());
+  const graph::NodeId eastside =
+      nearest({bounds.max().x - 600.0, bounds.center().y});
+  std::cout << "downtown branch at intersection " << downtown
+            << ", eastside branch at " << eastside << "\n\n";
+
+  const traffic::LinearUtility utility(4'000.0);
+  const auto report = [&](const char* name,
+                          const std::vector<graph::NodeId>& shops) {
+    const core::PlacementProblem problem =
+        core::make_multishop_problem(net, flows, shops, utility);
+    const core::PlacementResult result =
+        core::composite_greedy_placement(problem, k);
+    std::cout << util::pad(name, -34)
+              << util::pad(util::format_fixed(result.customers, 1), 10)
+              << "  RAPs:";
+    for (const graph::NodeId v : result.nodes) std::cout << " " << v;
+    std::cout << "\n";
+  };
+
+  std::cout << "expected customers/day with k=" << k
+            << " RAPs (Algorithm 2, linear utility, D=4000 ft)\n";
+  report("downtown only", {downtown});
+  report("downtown + eastside", {downtown, eastside});
+  report("eastside only", {eastside});
+  std::cout << "\nOpening the second branch lets the same advertising "
+               "budget attract more\ncustomers: drivers detour to whichever "
+               "branch is cheaper from where they\nreceive the ad.\n";
+  return 0;
+}

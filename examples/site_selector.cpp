@@ -1,0 +1,77 @@
+// Site selection: before placing RAPs, pick where the shop itself should
+// go. Ranks every intersection of a Seattle-like city by the customers its
+// best k-RAP campaign would attract, prints the top sites, and exports the
+// winner's scenario (streets, flows, shop, RAPs) as GeoJSON for inspection.
+//
+// Run: ./site_selector [--seed N] [--k N] [--top N] [--geojson PATH]
+#include <iostream>
+
+#include "src/citygen/partial_grid_city.h"
+#include "src/eval/geojson.h"
+#include "src/eval/shop_siting.h"
+#include "src/trace/flow_extractor.h"
+#include "src/trace/generator.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  const util::CliFlags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 21));
+  const auto k = static_cast<std::size_t>(flags.get_int("k", 6));
+  const auto top = static_cast<std::size_t>(flags.get_int("top", 8));
+  const std::string geojson_path =
+      flags.get_string("geojson", "site_selector.geojson");
+
+  // City + one day of traces -> flows.
+  util::Rng rng(seed);
+  citygen::PartialGridSpec city_spec;
+  city_spec.grid = {15, 15, 650.0, {0.0, 0.0}};
+  city_spec.edge_removal_prob = 0.07;
+  const citygen::PartialGridCity city(city_spec, rng);
+  const graph::RoadNetwork& net = city.network();
+
+  trace::TraceGenSpec trace_spec;
+  trace_spec.num_journeys = 70;
+  trace_spec.mean_runs_per_journey = 25.0;
+  trace_spec.sample_spacing = 420.0;
+  trace_spec.gps_noise = 70.0;
+  trace_spec.passengers_per_vehicle = 200.0;
+  trace_spec.alpha = 0.001;
+  const auto day = trace::generate_trace(net, trace_spec, rng);
+  const trace::MapMatcher matcher(net, 300.0);
+  trace::ExtractionOptions extract;
+  extract.passengers_per_vehicle = 200.0;
+  extract.alpha = 0.001;
+  const auto flows = trace::extract_flows(matcher, day.records, extract);
+  std::cout << "city: " << net.num_nodes() << " intersections, "
+            << flows.size() << " flows\n\n";
+
+  // Rank every intersection as a potential shop site.
+  const traffic::LinearUtility utility(4'500.0);
+  eval::ShopSitingOptions options;
+  options.k = k;
+  options.top = top;
+  const auto sites = eval::rank_shop_sites(net, flows, utility, options);
+
+  std::cout << "top shop sites (k=" << k << " RAPs each, linear utility)\n";
+  std::cout << util::pad("rank", 5) << util::pad("intersection", 14)
+            << util::pad("customers/day", 15) << "   position (ft)\n";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const geo::Point p = net.position(sites[i].shop);
+    std::cout << util::pad(std::to_string(i + 1), 5)
+              << util::pad(std::to_string(sites[i].shop), 14)
+              << util::pad(util::format_fixed(sites[i].customers, 1), 15)
+              << "   (" << util::format_fixed(p.x, 0) << ", "
+              << util::format_fixed(p.y, 0) << ")\n";
+  }
+
+  // Export the winning scenario for a map viewer.
+  const eval::SiteScore& best = sites.front();
+  eval::GeoJsonOptions geo_options;
+  geo_options.min_flow_vehicles = 10.0;
+  eval::write_geojson(geojson_path, net, flows, best.shop, best.placement,
+                      geo_options);
+  std::cout << "\nwrote the winning scenario to " << geojson_path << "\n";
+  return 0;
+}

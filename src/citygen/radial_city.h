@@ -1,0 +1,33 @@
+// "Dublin-like" city: an irregular ring-and-spoke street plan. Dublin's
+// centre is not grid-based — streets radiate from the core (bridges over the
+// Liffey, quays, circular roads), so the generator builds
+//   * a centre node plus concentric rings of jittered intersections,
+//   * ring roads joining angular neighbours,
+//   * radial spokes joining consecutive rings,
+//   * extra random chords (shortcut streets), and
+//   * a fraction of one-way streets,
+// then keeps the largest strongly connected component.
+#pragma once
+
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace rap::citygen {
+
+struct RadialSpec {
+  std::size_t rings = 8;            ///< number of concentric rings
+  std::size_t nodes_on_first_ring = 6;
+  std::size_t nodes_per_ring_step = 4;  ///< additional nodes per further ring
+  double ring_spacing = 1.0;        ///< radial distance between rings, feet
+  geo::Point center = {0.0, 0.0};
+  double angular_jitter = 0.15;     ///< radians of noise on node angles
+  double radial_jitter = 0.10;      ///< fraction-of-spacing noise on radii
+  double chord_prob = 0.05;         ///< probability of an extra chord per node
+  double oneway_prob = 0.05;        ///< fraction of streets made one-way
+};
+
+/// Builds deterministically from `rng`. Throws on invalid parameters.
+[[nodiscard]] graph::RoadNetwork build_radial_city(const RadialSpec& spec,
+                                                   util::Rng& rng);
+
+}  // namespace rap::citygen

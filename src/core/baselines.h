@@ -1,0 +1,33 @@
+// The four comparison algorithms of Section V-B.
+//
+//   MaxCardinality — top-k intersections by number of passing traffic flows.
+//   MaxVehicles    — top-k intersections by number of passing vehicles.
+//   MaxCustomers   — top-k intersections by customers attracted if a single
+//                    RAP were placed there (optimal at k = 1).
+//   Random         — k intersections drawn uniformly from the D x D square
+//                    centred at the shop.
+// All rankings break ties towards the lowest node id for determinism.
+#pragma once
+
+#include "src/core/problem.h"
+#include "src/util/rng.h"
+
+namespace rap::core {
+
+[[nodiscard]] PlacementResult max_cardinality_placement(
+    const CoverageModel& model, std::size_t k);
+
+[[nodiscard]] PlacementResult max_vehicles_placement(
+    const CoverageModel& model, std::size_t k);
+
+[[nodiscard]] PlacementResult max_customers_placement(
+    const CoverageModel& model, std::size_t k);
+
+/// Uniform-random placement inside the D x D square around the shop (D is
+/// the utility range, matching the paper's setup). Falls back to the whole
+/// network when the square contains fewer than k intersections. Requires a
+/// single-shop problem (problem.shop() valid).
+[[nodiscard]] PlacementResult random_placement(const CoverageModel& model,
+                                               std::size_t k, util::Rng& rng);
+
+}  // namespace rap::core

@@ -1,0 +1,90 @@
+#include "src/core/budgeted.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+
+namespace rap::core {
+namespace {
+
+void validate(const CoverageModel& model, std::span<const double> costs,
+              double budget) {
+  if (costs.size() != model.num_nodes()) {
+    throw std::invalid_argument("budgeted_placement: costs size != num_nodes");
+  }
+  for (const double c : costs) {
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument(
+          "budgeted_placement: costs must be finite and > 0");
+    }
+  }
+  if (!(budget > 0.0) || !std::isfinite(budget)) {
+    throw std::invalid_argument(
+        "budgeted_placement: budget must be finite and > 0");
+  }
+}
+
+}  // namespace
+
+double placement_cost(std::span<const double> costs,
+                      std::span<const graph::NodeId> nodes) {
+  double total = 0.0;
+  for (const graph::NodeId v : nodes) {
+    if (v >= costs.size()) {
+      throw std::out_of_range("placement_cost: bad node id");
+    }
+    total += costs[v];
+  }
+  return total;
+}
+
+PlacementResult budgeted_placement(const CoverageModel& model,
+                                   std::span<const double> costs, double budget,
+                                   const BudgetedOptions& options) {
+  validate(model, costs, budget);
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  const auto gain_of = [&](const PlacementState& state, graph::NodeId v) {
+    return options.use_marginal_gain ? state.gain_if_added(v)
+                                     : state.uncovered_gain(v);
+  };
+
+  // Part (a): ratio greedy under the budget.
+  PlacementState greedy(model);
+  double spent = 0.0;
+  for (;;) {
+    graph::NodeId best = graph::kInvalidNode;
+    double best_ratio = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (greedy.contains(v) || spent + costs[v] > budget) continue;
+      const double ratio = gain_of(greedy, v) / costs[v];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = v;
+      }
+    }
+    if (best == graph::kInvalidNode) break;
+    spent += costs[best];
+    greedy.add(best);
+  }
+
+  // Part (b): best affordable singleton.
+  PlacementState empty(model);
+  graph::NodeId best_single = graph::kInvalidNode;
+  double best_single_gain = 0.0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (costs[v] > budget) continue;
+    const double gain = empty.gain_if_added(v);
+    if (gain > best_single_gain) {
+      best_single_gain = gain;
+      best_single = v;
+    }
+  }
+
+  if (best_single != graph::kInvalidNode && best_single_gain > greedy.value()) {
+    return {{best_single}, best_single_gain};
+  }
+  return {greedy.placement(), greedy.value()};
+}
+
+}  // namespace rap::core

@@ -1,0 +1,38 @@
+// Budgeted RAP placement — the setting of Khuller, Moss & Naor's budgeted
+// maximum coverage, which the paper cites as [18] for its greedy bound.
+//
+// Instead of a fixed count k, every intersection has an installation cost
+// (roadside power, permits, backhaul differ per site) and the shop has a
+// total budget B. The solver is the classic two-part approximation:
+//   (a) ratio greedy — repeatedly take the affordable intersection with the
+//       best marginal-gain / cost ratio;
+//   (b) the best single affordable intersection;
+// and returns the better of the two (for unit costs and B = k this is
+// Algorithm 1 with an extra max, so never worse).
+#pragma once
+
+#include <span>
+
+#include "src/core/problem.h"
+
+namespace rap::core {
+
+struct BudgetedOptions {
+  /// Use total marginal gain (facility-location objective) rather than the
+  /// uncovered-only gain. Matches naive_marginal_greedy on unit costs when
+  /// true; greedy_coverage_placement when false.
+  bool use_marginal_gain = true;
+};
+
+/// Places RAPs within `budget`. `costs[v]` is intersection v's installation
+/// cost (> 0, finite). Throws std::invalid_argument on a size mismatch,
+/// non-positive cost, or non-positive budget.
+[[nodiscard]] PlacementResult budgeted_placement(
+    const CoverageModel& model, std::span<const double> costs, double budget,
+    const BudgetedOptions& options = {});
+
+/// Total cost of a placement under `costs`.
+[[nodiscard]] double placement_cost(std::span<const double> costs,
+                                    std::span<const graph::NodeId> nodes);
+
+}  // namespace rap::core

@@ -1,0 +1,69 @@
+#include "src/core/composite_greedy.h"
+
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+
+namespace rap::core {
+namespace {
+
+struct Candidate {
+  graph::NodeId node = graph::kInvalidNode;
+  double score = -1.0;
+};
+
+template <typename ScoreFn>
+Candidate best_candidate(const PlacementState& state, graph::NodeId n,
+                         ScoreFn&& score_of) {
+  Candidate best;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (state.contains(v)) continue;
+    const double score = score_of(v);
+    if (score > best.score) best = {v, score};
+  }
+  return best;
+}
+
+PlacementResult run_greedy(const CoverageModel& model, std::size_t k,
+                           const CompositeGreedyOptions& options,
+                           bool composite) {
+  if (k == 0) {
+    throw std::invalid_argument("composite_greedy_placement: k must be > 0");
+  }
+  PlacementState state(model);
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  for (std::size_t step = 0; step < k && state.placement().size() < n; ++step) {
+    Candidate chosen;
+    if (composite) {
+      const Candidate cover = best_candidate(
+          state, n, [&](graph::NodeId v) { return state.uncovered_gain(v); });
+      const Candidate improve = best_candidate(
+          state, n, [&](graph::NodeId v) { return state.improvement_gain(v); });
+      // Candidate (i) wins exact ties — it appears first in the listing.
+      chosen = improve.score > cover.score ? improve : cover;
+    } else {
+      chosen = best_candidate(
+          state, n, [&](graph::NodeId v) { return state.gain_if_added(v); });
+    }
+    if (chosen.node == graph::kInvalidNode) break;
+    if (chosen.score <= 0.0 && options.stop_when_no_gain) break;
+    state.add(chosen.node);
+  }
+  return {state.placement(), state.value()};
+}
+
+}  // namespace
+
+PlacementResult composite_greedy_placement(const CoverageModel& model,
+                                           std::size_t k,
+                                           const CompositeGreedyOptions& options) {
+  return run_greedy(model, k, options, /*composite=*/true);
+}
+
+PlacementResult naive_marginal_greedy_placement(
+    const CoverageModel& model, std::size_t k,
+    const CompositeGreedyOptions& options) {
+  return run_greedy(model, k, options, /*composite=*/false);
+}
+
+}  // namespace rap::core

@@ -1,0 +1,38 @@
+// Algorithm 2 — the composite greedy solution with the 1 - 1/sqrt(e) bound.
+//
+// At every step two candidate intersections are computed:
+//   (i)  the intersection attracting the most customers from flows that
+//        currently contribute nothing (cover new traffic), and
+//   (ii) the intersection attracting the most *additional* customers from
+//        already-contributing flows by offering a smaller detour distance
+//        (the RAP-overlap factor).
+// The better of the two candidates receives the RAP. With the threshold
+// utility candidate (ii) is always worthless, so Algorithm 2 reduces to
+// Algorithm 1 exactly as the paper observes.
+//
+// NaiveMarginalGreedy — the strawman discussed around Fig. 4: maximise the
+// plain total marginal gain. It carries no approximation bound (the paper's
+// counter-example is reproduced in tests) but is a useful ablation baseline.
+#pragma once
+
+#include "src/core/problem.h"
+
+namespace rap::core {
+
+struct CompositeGreedyOptions {
+  bool stop_when_no_gain = true;
+};
+
+/// Algorithm 2. Throws std::invalid_argument when k == 0. Deterministic
+/// (ties towards the lowest node id; candidate (i) wins exact ties with
+/// candidate (ii), matching the listing's order).
+[[nodiscard]] PlacementResult composite_greedy_placement(
+    const CoverageModel& model, std::size_t k,
+    const CompositeGreedyOptions& options = {});
+
+/// The unbounded strawman: argmax of gain_if_added at every step.
+[[nodiscard]] PlacementResult naive_marginal_greedy_placement(
+    const CoverageModel& model, std::size_t k,
+    const CompositeGreedyOptions& options = {});
+
+}  // namespace rap::core

@@ -1,0 +1,46 @@
+#include "src/core/coverage_adapter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+
+namespace rap::core {
+
+cover::CoverageInstance to_coverage_instance(const CoverageModel& model) {
+  constexpr double kTol = 1e-9;
+  std::vector<double> weights(model.num_flows(), -1.0);  // -1 = unseen
+  std::vector<std::vector<cover::ElementId>> sets(model.num_nodes());
+  for (graph::NodeId v = 0; v < model.num_nodes(); ++v) {
+    for (const traffic::NodeIncidence& inc : model.reach_at(v)) {
+      const double value = model.customers(inc.flow, inc.detour);
+      if (value <= 0.0) continue;  // beyond the threshold: not covered here
+      if (weights[inc.flow] < 0.0) {
+        weights[inc.flow] = value;
+      } else if (std::abs(weights[inc.flow] - value) >
+                 kTol * (1.0 + weights[inc.flow])) {
+        throw std::invalid_argument(
+            "to_coverage_instance: flow value differs across intersections — "
+            "the utility is not threshold-like");
+      }
+      sets[v].push_back(inc.flow);
+    }
+  }
+  for (double& w : weights) {
+    if (w < 0.0) w = 0.0;  // flow never coverable: weight irrelevant
+  }
+  return {std::move(weights), std::move(sets)};
+}
+
+PlacementResult coverage_greedy_via_reduction(const CoverageModel& model,
+                                              std::size_t k) {
+  const cover::CoverageInstance instance = to_coverage_instance(model);
+  const cover::CoverageResult covered =
+      cover::lazy_greedy_max_coverage(instance, k);
+  PlacementResult result;
+  result.nodes.assign(covered.sets.begin(), covered.sets.end());
+  result.customers = evaluate_placement(model, result.nodes);
+  return result;
+}
+
+}  // namespace rap::core

@@ -1,0 +1,26 @@
+// Adapter proving Section III-B's reduction: under the threshold utility
+// the RAP placement problem IS a weighted maximum coverage instance
+// (sets = intersections, elements = flows, element weight = f(d) * |T|,
+// which is detour-independent below the threshold).
+#pragma once
+
+#include "src/core/problem.h"
+#include "src/cover/max_coverage.h"
+
+namespace rap::core {
+
+/// Builds the coverage instance for a threshold-utility model. Element e
+/// corresponds to flow e; set v to intersection v. Throws
+/// std::invalid_argument if the model's utility is not threshold-like,
+/// i.e. if any flow is worth different amounts from different reachable
+/// intersections (the reduction would be lossy).
+[[nodiscard]] cover::CoverageInstance to_coverage_instance(
+    const CoverageModel& model);
+
+/// Convenience: solve the threshold placement via the generic coverage
+/// greedy and map back to intersections. Identical to
+/// greedy_coverage_placement by construction (asserted in tests).
+[[nodiscard]] PlacementResult coverage_greedy_via_reduction(
+    const CoverageModel& model, std::size_t k);
+
+}  // namespace rap::core

@@ -1,0 +1,68 @@
+// Incremental placement evaluation.
+//
+// PlacementState tracks, per flow, the best (minimum) detour distance over
+// the RAPs placed so far — by Theorem 1 and the redundant-advertisement
+// argument, only that minimum matters. Adding a RAP and querying marginal
+// gains are both O(reach of the node), which is what makes the greedy
+// algorithms' k * |V| * |T| bound real.
+//
+// Gains are split the way Algorithm 2 needs them:
+//   uncovered_gain(v)   — customers gained from flows currently contributing
+//                         nothing (factor (i): cover new traffic);
+//   improvement_gain(v) — extra customers from flows already contributing,
+//                         via a smaller detour distance (factor (ii):
+//                         overlaps among RAPs).
+// gain_if_added(v) = uncovered_gain(v) + improvement_gain(v).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/core/problem.h"
+
+namespace rap::core {
+
+class PlacementState {
+ public:
+  explicit PlacementState(const CoverageModel& model);
+
+  [[nodiscard]] const CoverageModel& model() const noexcept { return *model_; }
+
+  /// Expected attracted customers under the current placement.
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  [[nodiscard]] const Placement& placement() const noexcept { return placed_; }
+  [[nodiscard]] bool contains(graph::NodeId node) const;
+
+  /// Marginal gain decomposition for adding a RAP at `node`.
+  [[nodiscard]] double uncovered_gain(graph::NodeId node) const;
+  [[nodiscard]] double improvement_gain(graph::NodeId node) const;
+  [[nodiscard]] double gain_if_added(graph::NodeId node) const;
+
+  /// Places a RAP at `node`. Placing at an already-used node is a no-op.
+  void add(graph::NodeId node);
+
+  /// Best detour per flow (kUnreachable when no placed RAP reaches it).
+  [[nodiscard]] std::span<const double> best_detours() const noexcept {
+    return best_detour_;
+  }
+
+  /// Current customer contribution per flow.
+  [[nodiscard]] std::span<const double> contributions() const noexcept {
+    return contribution_;
+  }
+
+ private:
+  const CoverageModel* model_;
+  Placement placed_;
+  std::vector<bool> is_placed_;
+  std::vector<double> best_detour_;    // per flow
+  std::vector<double> contribution_;   // per flow, customers
+  double value_ = 0.0;
+};
+
+/// One-shot evaluation of a placement (duplicates are tolerated).
+[[nodiscard]] double evaluate_placement(const CoverageModel& model,
+                                        std::span<const graph::NodeId> nodes);
+
+}  // namespace rap::core

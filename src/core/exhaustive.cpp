@@ -1,0 +1,110 @@
+#include "src/core/exhaustive.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/evaluator.h"
+
+namespace rap::core {
+namespace {
+
+std::vector<graph::NodeId> useful_candidates(const CoverageModel& model) {
+  std::vector<graph::NodeId> out;
+  PlacementState empty(model);
+  for (graph::NodeId v = 0; v < model.num_nodes(); ++v) {
+    if (empty.uncovered_gain(v) > 0.0) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t combinations(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    const std::size_t numerator = n - k + i;
+    // result * numerator / i is exact because result already contains
+    // C(n-k+i-1, i-1) which makes the product divisible by i; guard overflow.
+    if (result > std::numeric_limits<std::size_t>::max() / numerator) {
+      return std::numeric_limits<std::size_t>::max();
+    }
+    result = result * numerator / i;
+  }
+  return result;
+}
+
+// Depth-first enumeration of k-subsets with incremental PlacementState
+// rebuilds per leaf replaced by add-only states along the DFS spine:
+// PlacementState has no remove(), so we keep a stack of states.
+class Search {
+ public:
+  Search(const CoverageModel& model, std::span<const graph::NodeId> pool,
+         std::size_t k)
+      : pool_(pool), k_(k) {
+    best_.customers = -1.0;
+    states_.reserve(k + 2);
+    states_.emplace_back(model);
+    recurse(0);
+  }
+
+  [[nodiscard]] PlacementResult best() && { return std::move(best_); }
+
+ private:
+  void recurse(std::size_t first) {
+    const PlacementState& current = states_.back();
+    if (current.placement().size() == k_ || first == pool_.size()) {
+      if (current.value() > best_.customers) {
+        best_ = {current.placement(), current.value()};
+      }
+      return;
+    }
+    const std::size_t remaining = k_ - current.placement().size();
+    // Prune: not enough pool left to fill the placement? Still evaluate the
+    // partial placement (placing fewer than k RAPs is allowed).
+    if (pool_.size() - first < remaining) {
+      if (current.value() > best_.customers) {
+        best_ = {current.placement(), current.value()};
+      }
+    }
+    for (std::size_t i = first; i < pool_.size(); ++i) {
+      PlacementState next = states_.back();  // copy before push: no aliasing
+      next.add(pool_[i]);
+      states_.push_back(std::move(next));
+      recurse(i + 1);
+      states_.pop_back();
+    }
+  }
+
+  std::span<const graph::NodeId> pool_;
+  std::size_t k_;
+  std::vector<PlacementState> states_;
+  PlacementResult best_;
+};
+
+}  // namespace
+
+std::size_t exhaustive_combination_count(const CoverageModel& model,
+                                         std::size_t k) {
+  const auto pool = useful_candidates(model);
+  return combinations(pool.size(), std::min(k, pool.size()));
+}
+
+PlacementResult exhaustive_optimal_placement(const CoverageModel& model,
+                                             std::size_t k,
+                                             const ExhaustiveOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument("exhaustive_optimal_placement: k must be > 0");
+  }
+  const std::vector<graph::NodeId> pool = useful_candidates(model);
+  const std::size_t effective_k = std::min(k, pool.size());
+  if (effective_k == 0) return {};
+  if (combinations(pool.size(), effective_k) > options.max_combinations) {
+    throw std::runtime_error(
+        "exhaustive_optimal_placement: combination budget exceeded");
+  }
+  return Search(model, pool, effective_k).best();
+}
+
+}  // namespace rap::core

@@ -1,0 +1,35 @@
+// Exhaustive (exact) RAP placement for small instances.
+//
+// Used as the optimum oracle in approximation-ratio tests, and by
+// Algorithm 3 for k <= 4 ("return the optimal solution by exhaustive
+// search"). Enumeration is restricted to *useful* candidates —
+// intersections whose singleton placement attracts at least one customer —
+// which is lossless: an intersection that attracts nobody on its own can
+// never add value to any placement (contributions are per-flow maxima).
+#pragma once
+
+#include <cstddef>
+
+#include "src/core/problem.h"
+
+namespace rap::core {
+
+struct ExhaustiveOptions {
+  /// Abort (std::runtime_error) when the number of candidate combinations
+  /// exceeds this bound; keeps accidental exponential blow-ups loud.
+  std::size_t max_combinations = 20'000'000;
+};
+
+/// Exact optimum over all placements of up to k RAPs. Throws
+/// std::invalid_argument when k == 0, std::runtime_error past the
+/// combination budget.
+[[nodiscard]] PlacementResult exhaustive_optimal_placement(
+    const CoverageModel& model, std::size_t k,
+    const ExhaustiveOptions& options = {});
+
+/// Number of combinations the search would enumerate (before the budget
+/// check); exposed for tests and for Algorithm 3's fallback decision.
+[[nodiscard]] std::size_t exhaustive_combination_count(
+    const CoverageModel& model, std::size_t k);
+
+}  // namespace rap::core

@@ -1,0 +1,35 @@
+#include "src/core/greedy.h"
+
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+
+namespace rap::core {
+
+PlacementResult greedy_coverage_placement(const CoverageModel& model,
+                                          std::size_t k,
+                                          const GreedyOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument("greedy_coverage_placement: k must be > 0");
+  }
+  PlacementState state(model);
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  for (std::size_t step = 0; step < k && state.placement().size() < n; ++step) {
+    graph::NodeId best = graph::kInvalidNode;
+    double best_gain = -1.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (state.contains(v)) continue;
+      const double gain = state.uncovered_gain(v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == graph::kInvalidNode) break;
+    if (best_gain <= 0.0 && options.stop_when_no_gain) break;
+    state.add(best);
+  }
+  return {state.placement(), state.value()};
+}
+
+}  // namespace rap::core

@@ -1,0 +1,28 @@
+// Algorithm 1 — the greedy weighted-maximum-coverage solution.
+//
+// Iteratively places a RAP at the intersection attracting the most customers
+// from *uncovered* traffic flows, then marks those flows covered. Under the
+// threshold utility this is the classic (1 - 1/e)-approximate greedy for
+// weighted maximum coverage; under decreasing utilities it degenerates to
+// the "factor (i) only" heuristic the paper shows is insufficient (kept as
+// an ablation point).
+#pragma once
+
+#include "src/core/problem.h"
+
+namespace rap::core {
+
+struct GreedyOptions {
+  /// Stop as soon as no intersection yields positive gain (the paper's
+  /// example terminates early once every flow is covered). When false,
+  /// exactly k RAPs are placed, padding with zero-gain intersections.
+  bool stop_when_no_gain = true;
+};
+
+/// Places up to k RAPs with Algorithm 1. Throws std::invalid_argument when
+/// k == 0. Ties break towards the lowest node id (deterministic).
+[[nodiscard]] PlacementResult greedy_coverage_placement(
+    const CoverageModel& model, std::size_t k,
+    const GreedyOptions& options = {});
+
+}  // namespace rap::core

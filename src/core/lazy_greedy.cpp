@@ -1,0 +1,82 @@
+#include "src/core/lazy_greedy.h"
+
+#include <queue>
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+
+namespace rap::core {
+namespace {
+
+template <typename GainFn>
+PlacementResult run_lazy(const CoverageModel& model, std::size_t k,
+                         GainFn&& gain_of, LazyGreedyStats* stats) {
+  if (k == 0) {
+    throw std::invalid_argument("lazy greedy placement: k must be > 0");
+  }
+  PlacementState state(model);
+
+  struct Entry {
+    double gain;
+    graph::NodeId node;
+    std::uint32_t stamp;
+  };
+  // Ties must break to the lowest node id (matching the eager greedy), so
+  // equal gains order by ascending id.
+  const auto less = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(less)> heap(less);
+
+  LazyGreedyStats local;
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ++local.gain_evaluations;
+    heap.push({gain_of(state, v), v, 0});
+  }
+
+  std::uint32_t selections = 0;
+  while (state.placement().size() < k && !heap.empty()) {
+    const Entry top = heap.top();
+    heap.pop();
+    ++local.heap_pops;
+    if (top.stamp != selections) {
+      ++local.gain_evaluations;
+      const double gain = gain_of(state, top.node);
+      if (gain > 0.0) heap.push({gain, top.node, selections});
+      continue;
+    }
+    if (top.gain <= 0.0) break;
+    state.add(top.node);
+    ++selections;
+  }
+  if (stats != nullptr) *stats = local;
+  return {state.placement(), state.value()};
+}
+
+}  // namespace
+
+PlacementResult lazy_marginal_greedy_placement(const CoverageModel& model,
+                                               std::size_t k,
+                                               LazyGreedyStats* stats) {
+  return run_lazy(
+      model, k,
+      [](const PlacementState& state, graph::NodeId v) {
+        return state.gain_if_added(v);
+      },
+      stats);
+}
+
+PlacementResult lazy_coverage_placement(const CoverageModel& model,
+                                        std::size_t k,
+                                        LazyGreedyStats* stats) {
+  return run_lazy(
+      model, k,
+      [](const PlacementState& state, graph::NodeId v) {
+        return state.uncovered_gain(v);
+      },
+      stats);
+}
+
+}  // namespace rap::core

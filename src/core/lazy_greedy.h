@@ -1,0 +1,39 @@
+// Lazy-evaluation (CELF-style) greedy placement.
+//
+// The attracted-customers objective is monotone submodular (it is a
+// facility-location function: a per-flow maximum over placed RAPs), so the
+// total marginal gain of any intersection can only shrink as RAPs are
+// placed. A max-heap of cached gains therefore needs to re-evaluate only
+// the top entry, cutting the k |V| |T| greedy sweep to a small fraction of
+// gain evaluations on real workloads (measured in bench/ablation_design).
+//
+// lazy_marginal_greedy_placement selects exactly the same intersections as
+// naive_marginal_greedy_placement; lazy_coverage_placement mirrors
+// greedy_coverage_placement (Algorithm 1), whose uncovered-gain objective
+// is the classic submodular coverage function. Algorithm 2's candidate (ii)
+// improvement gain is NOT monotone (a flow must first be covered before it
+// can be improved), so the composite greedy has no lazy counterpart.
+#pragma once
+
+#include "src/core/problem.h"
+
+namespace rap::core {
+
+struct LazyGreedyStats {
+  std::size_t gain_evaluations = 0;  ///< re-evaluations performed
+  std::size_t heap_pops = 0;
+};
+
+/// Same selection as naive_marginal_greedy_placement (ties to lowest id).
+/// Stops when no intersection yields positive gain. Throws when k == 0.
+[[nodiscard]] PlacementResult lazy_marginal_greedy_placement(
+    const CoverageModel& model, std::size_t k,
+    LazyGreedyStats* stats = nullptr);
+
+/// Same selection as greedy_coverage_placement (Algorithm 1) with
+/// stop_when_no_gain semantics. Throws when k == 0.
+[[nodiscard]] PlacementResult lazy_coverage_placement(
+    const CoverageModel& model, std::size_t k,
+    LazyGreedyStats* stats = nullptr);
+
+}  // namespace rap::core

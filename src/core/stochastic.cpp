@@ -1,0 +1,97 @@
+#include "src/core/stochastic.h"
+
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+
+
+namespace rap::core {
+namespace {
+
+void validate_scenarios(std::span<const CoverageModel* const> scenarios) {
+  if (scenarios.empty()) {
+    throw std::invalid_argument("stochastic placement: no scenarios");
+  }
+  for (const CoverageModel* scenario : scenarios) {
+    if (scenario == nullptr) {
+      throw std::invalid_argument("stochastic placement: null scenario");
+    }
+    if (&scenario->network() != &scenarios.front()->network()) {
+      throw std::invalid_argument(
+          "stochastic placement: scenarios must share one network");
+    }
+  }
+}
+
+}  // namespace
+
+PlacementResult stochastic_greedy_placement(
+    std::span<const CoverageModel* const> scenarios, std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("stochastic_greedy_placement: k must be > 0");
+  }
+  validate_scenarios(scenarios);
+
+  std::vector<PlacementState> states;
+  states.reserve(scenarios.size());
+  for (const CoverageModel* scenario : scenarios) {
+    states.emplace_back(*scenario);
+  }
+  const auto n =
+      static_cast<graph::NodeId>(scenarios.front()->num_nodes());
+  Placement placed;
+  for (std::size_t step = 0; step < k && placed.size() < n; ++step) {
+    graph::NodeId best = graph::kInvalidNode;
+    double best_gain = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (states.front().contains(v)) continue;
+      double gain = 0.0;
+      for (const PlacementState& state : states) {
+        gain += state.gain_if_added(v);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == graph::kInvalidNode) break;
+    for (PlacementState& state : states) state.add(best);
+    placed.push_back(best);
+  }
+
+  double total = 0.0;
+  for (const PlacementState& state : states) total += state.value();
+  return {placed, total / static_cast<double>(states.size())};
+}
+
+double evaluate_scenario_average(
+    std::span<const CoverageModel* const> scenarios,
+    std::span<const graph::NodeId> nodes) {
+  validate_scenarios(scenarios);
+  double total = 0.0;
+  for (const CoverageModel* scenario : scenarios) {
+    total += evaluate_placement(*scenario, nodes);
+  }
+  return total / static_cast<double>(scenarios.size());
+}
+
+std::vector<std::unique_ptr<PlacementProblem>> make_demand_scenarios(
+    const graph::RoadNetwork& net,
+    const std::vector<traffic::TrafficFlow>& flows, graph::NodeId shop,
+    const traffic::UtilityFunction& utility, std::size_t count,
+    double volume_cv, std::uint64_t seed) {
+  if (count == 0) {
+    throw std::invalid_argument("make_demand_scenarios: count must be > 0");
+  }
+  std::vector<std::unique_ptr<PlacementProblem>> scenarios;
+  scenarios.reserve(count);
+  const util::Rng root(seed);
+  for (std::size_t s = 0; s < count; ++s) {
+    util::Rng rng = root.fork(s);
+    scenarios.push_back(std::make_unique<PlacementProblem>(
+        net, traffic::perturb_demand(flows, volume_cv, rng), shop, utility));
+  }
+  return scenarios;
+}
+
+}  // namespace rap::core

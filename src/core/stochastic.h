@@ -1,0 +1,42 @@
+// Stochastic (sample-average) placement.
+//
+// The paper plans against one historical traffic snapshot; demand_robustness
+// (src/eval/robustness.h) shows what that costs when volumes move. This
+// module closes the loop: greedily maximise the AVERAGE attracted customers
+// across a set of demand scenarios (sample average approximation). The
+// averaged objective is still monotone submodular — an average of
+// facility-location functions — so the greedy keeps the 1 - 1/e guarantee
+// with respect to the sampled average.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "src/core/problem.h"
+#include "src/util/rng.h"
+
+namespace rap::core {
+
+/// Greedy placement maximising the mean marginal gain across `scenarios`
+/// (all must share one road network). Returns the average value. Stops
+/// early when no intersection helps any scenario. Throws on k == 0, an
+/// empty scenario set, a null entry, or mismatched networks.
+[[nodiscard]] PlacementResult stochastic_greedy_placement(
+    std::span<const CoverageModel* const> scenarios, std::size_t k);
+
+/// Average value of a fixed placement across scenarios (same validation).
+[[nodiscard]] double evaluate_scenario_average(
+    std::span<const CoverageModel* const> scenarios,
+    std::span<const graph::NodeId> nodes);
+
+/// Builds demand scenarios by perturbing flow volumes multiplicatively
+/// (vehicles' = vehicles * max(0, 1 + cv * N(0,1))), one PlacementProblem
+/// per scenario. `net` and `utility` must outlive the result.
+[[nodiscard]] std::vector<std::unique_ptr<PlacementProblem>>
+make_demand_scenarios(const graph::RoadNetwork& net,
+                      const std::vector<traffic::TrafficFlow>& flows,
+                      graph::NodeId shop,
+                      const traffic::UtilityFunction& utility,
+                      std::size_t count, double volume_cv, std::uint64_t seed);
+
+}  // namespace rap::core

@@ -1,0 +1,229 @@
+#include "src/cover/max_coverage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rap::cover {
+namespace {
+
+double uncovered_gain(const CoverageInstance& instance, SetId id,
+                      const std::vector<bool>& covered) {
+  double gain = 0.0;
+  for (const ElementId e : instance.set(id)) {
+    if (!covered[e]) gain += instance.weight(e);
+  }
+  return gain;
+}
+
+void mark_covered(const CoverageInstance& instance, SetId id,
+                  std::vector<bool>& covered) {
+  for (const ElementId e : instance.set(id)) covered[e] = true;
+}
+
+}  // namespace
+
+CoverageInstance::CoverageInstance(std::vector<double> element_weights,
+                                   std::vector<std::vector<ElementId>> sets)
+    : weights_(std::move(element_weights)), sets_(std::move(sets)) {
+  for (const double w : weights_) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(
+          "CoverageInstance: weights must be finite and >= 0");
+    }
+  }
+  for (auto& set : sets_) {
+    for (const ElementId e : set) {
+      if (e >= weights_.size()) {
+        throw std::invalid_argument("CoverageInstance: element id out of range");
+      }
+    }
+    // Normalise: duplicate members would double-count in gain sums.
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+}
+
+double CoverageInstance::weight(ElementId element) const {
+  if (element >= weights_.size()) {
+    throw std::out_of_range("CoverageInstance::weight: bad element");
+  }
+  return weights_[element];
+}
+
+std::span<const ElementId> CoverageInstance::set(SetId id) const {
+  if (id >= sets_.size()) {
+    throw std::out_of_range("CoverageInstance::set: bad set id");
+  }
+  return sets_[id];
+}
+
+double CoverageInstance::coverage_weight(std::span<const SetId> chosen) const {
+  std::vector<bool> covered(weights_.size(), false);
+  double total = 0.0;
+  for (const SetId id : chosen) {
+    for (const ElementId e : set(id)) {
+      if (!covered[e]) {
+        covered[e] = true;
+        total += weights_[e];
+      }
+    }
+  }
+  return total;
+}
+
+CoverageResult greedy_max_coverage(const CoverageInstance& instance,
+                                   std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("greedy_max_coverage: k must be > 0");
+  }
+  std::vector<bool> covered(instance.num_elements(), false);
+  std::vector<bool> used(instance.num_sets(), false);
+  CoverageResult result;
+  for (std::size_t step = 0; step < k && result.sets.size() < instance.num_sets();
+       ++step) {
+    SetId best = 0;
+    double best_gain = 0.0;
+    bool found = false;
+    for (SetId id = 0; id < instance.num_sets(); ++id) {
+      if (used[id]) continue;
+      const double gain = uncovered_gain(instance, id, covered);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = id;
+        found = true;
+      }
+    }
+    if (!found) break;  // nothing adds weight
+    used[best] = true;
+    mark_covered(instance, best, covered);
+    result.sets.push_back(best);
+    result.weight += best_gain;
+  }
+  return result;
+}
+
+CoverageResult lazy_greedy_max_coverage(const CoverageInstance& instance,
+                                        std::size_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("lazy_greedy_max_coverage: k must be > 0");
+  }
+  // Max-heap of (cached gain, set id). Gains only shrink as elements get
+  // covered, so a popped entry whose gain is still current is globally best.
+  // Ties must break to the LOWEST id to mirror the eager greedy, so order
+  // by (gain asc, id desc) inverted for the max-heap.
+  struct Entry {
+    double gain;
+    SetId id;
+    std::uint32_t stamp;  ///< selection count when the gain was computed
+  };
+  const auto less = [](const Entry& a, const Entry& b) {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.id > b.id;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(less)> heap(less);
+
+  std::vector<bool> covered(instance.num_elements(), false);
+  for (SetId id = 0; id < instance.num_sets(); ++id) {
+    heap.push({uncovered_gain(instance, id, covered), id, 0});
+  }
+
+  CoverageResult result;
+  std::uint32_t selections = 0;
+  while (result.sets.size() < k && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.stamp != selections) {
+      // Stale: re-evaluate and push back unless it is now worthless.
+      const double gain = uncovered_gain(instance, top.id, covered);
+      if (gain > 0.0) heap.push({gain, top.id, selections});
+      continue;
+    }
+    if (top.gain <= 0.0) break;
+    mark_covered(instance, top.id, covered);
+    result.sets.push_back(top.id);
+    result.weight += top.gain;
+    ++selections;
+  }
+  return result;
+}
+
+namespace {
+
+// DFS with an optimistic bound: remaining budget * best possible set gain.
+class ExactSearch {
+ public:
+  ExactSearch(const CoverageInstance& instance, std::size_t k,
+              std::size_t max_combinations)
+      : instance_(instance), k_(k) {
+    for (SetId id = 0; id < instance.num_sets(); ++id) {
+      double weight = 0.0;
+      for (const ElementId e : instance.set(id)) weight += instance.weight(e);
+      if (weight > 0.0) pool_.push_back(id);
+    }
+    // Rough combination count guard (C(n, k) with overflow clamp).
+    double combos = 1.0;
+    for (std::size_t i = 0; i < std::min(k_, pool_.size()); ++i) {
+      combos *= static_cast<double>(pool_.size() - i) / static_cast<double>(i + 1);
+    }
+    if (combos > static_cast<double>(max_combinations)) {
+      throw std::runtime_error(
+          "exhaustive_max_coverage: combination budget exceeded");
+    }
+    covered_.assign(instance.num_elements(), false);
+    recurse(0, 0.0);
+  }
+
+  [[nodiscard]] CoverageResult best() && {
+    return {std::move(best_sets_), best_weight_};
+  }
+
+ private:
+  void recurse(std::size_t first, double weight) {
+    if (weight > best_weight_) {
+      best_weight_ = weight;
+      best_sets_ = current_;
+    }
+    if (current_.size() == k_ || first == pool_.size()) return;
+    for (std::size_t i = first; i < pool_.size(); ++i) {
+      const SetId id = pool_[i];
+      // Apply.
+      std::vector<ElementId> newly;
+      double gain = 0.0;
+      for (const ElementId e : instance_.set(id)) {
+        if (!covered_[e]) {
+          covered_[e] = true;
+          newly.push_back(e);
+          gain += instance_.weight(e);
+        }
+      }
+      current_.push_back(id);
+      recurse(i + 1, weight + gain);
+      current_.pop_back();
+      for (const ElementId e : newly) covered_[e] = false;
+    }
+  }
+
+  const CoverageInstance& instance_;
+  std::size_t k_;
+  std::vector<SetId> pool_;
+  std::vector<bool> covered_;
+  std::vector<SetId> current_;
+  std::vector<SetId> best_sets_;
+  double best_weight_ = -1.0;
+};
+
+}  // namespace
+
+CoverageResult exhaustive_max_coverage(const CoverageInstance& instance,
+                                       std::size_t k,
+                                       std::size_t max_combinations) {
+  if (k == 0) {
+    throw std::invalid_argument("exhaustive_max_coverage: k must be > 0");
+  }
+  return ExactSearch(instance, k, max_combinations).best();
+}
+
+}  // namespace rap::cover

@@ -1,0 +1,72 @@
+// Generic weighted maximum coverage (Section III-B's framing: "our RAP
+// placement problem with the threshold utility function is essentially a
+// weighted maximum coverage problem").
+//
+// Given sets over weighted elements, pick k sets maximising the total
+// weight of covered elements. Provides:
+//   * greedy_max_coverage        — the classic (1 - 1/e) greedy;
+//   * lazy_greedy_max_coverage   — the same result via a lazy (CELF-style)
+//                                  priority queue: marginal gains only
+//                                  shrink, so stale heap entries are safe
+//                                  to re-evaluate on demand;
+//   * exhaustive_max_coverage    — exact optimum for small instances.
+// The RAP placement problem under the threshold utility maps onto this
+// (sets = intersections, elements = flows, weight = f(d) * |T|); a
+// cross-check test asserts the equivalence against core/greedy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rap::cover {
+
+using ElementId = std::uint32_t;
+using SetId = std::uint32_t;
+
+/// A coverage instance. Elements are implicit (0..num_elements-1) with
+/// non-negative weights; each set lists the elements it covers.
+class CoverageInstance {
+ public:
+  /// Throws std::invalid_argument on negative/non-finite weights or
+  /// out-of-range element ids. Sets are normalised (sorted, deduplicated).
+  CoverageInstance(std::vector<double> element_weights,
+                   std::vector<std::vector<ElementId>> sets);
+
+  [[nodiscard]] std::size_t num_elements() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] std::size_t num_sets() const noexcept { return sets_.size(); }
+  [[nodiscard]] double weight(ElementId element) const;
+  [[nodiscard]] std::span<const ElementId> set(SetId id) const;
+
+  /// Total weight of the union of the given sets (duplicates fine).
+  [[nodiscard]] double coverage_weight(std::span<const SetId> chosen) const;
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::vector<ElementId>> sets_;
+};
+
+struct CoverageResult {
+  std::vector<SetId> sets;  ///< in selection order
+  double weight = 0.0;
+};
+
+/// Classic greedy; ties break to the lowest set id. Stops early when no
+/// set adds weight. Throws when k == 0.
+[[nodiscard]] CoverageResult greedy_max_coverage(const CoverageInstance& instance,
+                                                 std::size_t k);
+
+/// Lazy-evaluation greedy; identical selection to greedy_max_coverage
+/// (same tie-breaking) with far fewer gain evaluations on large instances.
+[[nodiscard]] CoverageResult lazy_greedy_max_coverage(
+    const CoverageInstance& instance, std::size_t k);
+
+/// Exact optimum by branch-and-bound over useful sets; throws
+/// std::runtime_error past `max_combinations`.
+[[nodiscard]] CoverageResult exhaustive_max_coverage(
+    const CoverageInstance& instance, std::size_t k,
+    std::size_t max_combinations = 20'000'000);
+
+}  // namespace rap::cover

@@ -1,0 +1,29 @@
+#include "src/eval/experiment.h"
+
+namespace rap::eval {
+
+const char* to_string(AlgorithmId id) noexcept {
+  switch (id) {
+    case AlgorithmId::kGreedyCoverage:
+      return "Algorithm1";
+    case AlgorithmId::kCompositeGreedy:
+      return "Algorithm2";
+    case AlgorithmId::kNaiveGreedy:
+      return "NaiveGreedy";
+    case AlgorithmId::kMaxCardinality:
+      return "MaxCardinality";
+    case AlgorithmId::kMaxVehicles:
+      return "MaxVehicles";
+    case AlgorithmId::kMaxCustomers:
+      return "MaxCustomers";
+    case AlgorithmId::kRandom:
+      return "Random";
+    case AlgorithmId::kTwoStageCorners:
+      return "Algorithm3";
+    case AlgorithmId::kTwoStageMidpoints:
+      return "Algorithm4";
+  }
+  return "unknown";
+}
+
+}  // namespace rap::eval

@@ -1,0 +1,64 @@
+// Experiment configuration mirroring Section V: which algorithms, which
+// utility function, threshold D, shop-location class, k sweep, repetitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/classify.h"
+#include "src/traffic/detour.h"
+#include "src/traffic/utility.h"
+#include "src/util/stats.h"
+
+namespace rap::eval {
+
+enum class AlgorithmId : std::uint8_t {
+  kGreedyCoverage,    ///< Algorithm 1
+  kCompositeGreedy,   ///< Algorithm 2
+  kNaiveGreedy,       ///< unbounded marginal-gain strawman (ablation)
+  kMaxCardinality,
+  kMaxVehicles,
+  kMaxCustomers,
+  kRandom,
+  kTwoStageCorners,   ///< Algorithm 3 (Manhattan scenario only)
+  kTwoStageMidpoints, ///< Algorithm 4 (Manhattan scenario only)
+};
+
+[[nodiscard]] const char* to_string(AlgorithmId id) noexcept;
+
+struct ExperimentConfig {
+  std::string name;                  ///< e.g. "fig10a-threshold"
+  std::vector<std::size_t> ks{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  traffic::UtilityKind utility = traffic::UtilityKind::kThreshold;
+  double range = 20'000.0;           ///< the threshold D, feet
+  trace::LocationClass shop_class = trace::LocationClass::kCity;
+  std::size_t repetitions = 100;     ///< paper uses 1000; benches default lower
+  std::uint64_t seed = 1;
+  traffic::DetourMode detour_mode = traffic::DetourMode::kAlongPath;
+  /// false: general scenario (fixed paths); true: Manhattan scenario
+  /// (flexible routing + two-stage algorithms become available).
+  bool manhattan_scenario = false;
+  /// Worker threads for the repetition loop; 1 = serial, 0 = hardware
+  /// concurrency. Results are bit-identical for any thread count
+  /// (repetitions are RNG-independent and accumulated in order).
+  std::size_t threads = 1;
+  std::vector<AlgorithmId> algorithms{
+      AlgorithmId::kGreedyCoverage,  AlgorithmId::kCompositeGreedy,
+      AlgorithmId::kMaxCardinality,  AlgorithmId::kMaxVehicles,
+      AlgorithmId::kMaxCustomers,    AlgorithmId::kRandom,
+  };
+};
+
+/// Mean/spread of attracted customers for one algorithm across the k sweep.
+struct SeriesResult {
+  AlgorithmId algorithm{};
+  std::vector<util::Summary> by_k;  ///< aligned with config.ks
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  std::vector<SeriesResult> series;  ///< aligned with config.algorithms
+};
+
+}  // namespace rap::eval

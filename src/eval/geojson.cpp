@@ -1,0 +1,106 @@
+#include "src/eval/geojson.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/strings.h"
+
+namespace rap::eval {
+namespace {
+
+std::string coord(const geo::Point& p) {
+  return "[" + util::format_fixed(p.x, 2) + "," + util::format_fixed(p.y, 2) + "]";
+}
+
+class FeatureWriter {
+ public:
+  void add(const std::string& geometry, const std::string& properties) {
+    if (!first_) out_ << ",";
+    first_ = false;
+    out_ << R"({"type":"Feature","geometry":)" << geometry
+         << R"(,"properties":)" << properties << "}";
+  }
+
+  [[nodiscard]] std::string finish() const {
+    return R"({"type":"FeatureCollection","features":[)" + out_.str() + "]}";
+  }
+
+ private:
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+std::string point_geometry(const geo::Point& p) {
+  return R"({"type":"Point","coordinates":)" + coord(p) + "}";
+}
+
+std::string line_geometry(const graph::RoadNetwork& net,
+                          std::span<const graph::NodeId> nodes) {
+  std::string coords = "[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) coords += ",";
+    coords += coord(net.position(nodes[i]));
+  }
+  coords += "]";
+  return R"({"type":"LineString","coordinates":)" + coords + "}";
+}
+
+}  // namespace
+
+std::string to_geojson(const graph::RoadNetwork& net,
+                       std::span<const traffic::TrafficFlow> flows,
+                       graph::NodeId shop,
+                       std::span<const graph::NodeId> placement,
+                       const GeoJsonOptions& options) {
+  FeatureWriter features;
+
+  if (options.include_streets) {
+    for (const graph::Edge& e : net.edges()) {
+      // Emit each two-way pair once (the lower-id direction).
+      if (e.from > e.to) continue;
+      const graph::NodeId ends[] = {e.from, e.to};
+      features.add(line_geometry(net, ends),
+                   R"({"kind":"street","length":)" +
+                       util::format_fixed(e.length, 2) + "}");
+    }
+  }
+  if (options.include_flows) {
+    for (const traffic::TrafficFlow& flow : flows) {
+      if (flow.daily_vehicles < options.min_flow_vehicles) continue;
+      features.add(line_geometry(net, flow.path),
+                   R"({"kind":"flow","daily_vehicles":)" +
+                       util::format_fixed(flow.daily_vehicles, 2) +
+                       R"(,"population":)" +
+                       util::format_fixed(flow.population(), 2) + "}");
+    }
+  }
+  if (shop != graph::kInvalidNode) {
+    features.add(point_geometry(net.position(shop)), R"({"kind":"shop"})");
+  }
+  for (std::size_t i = 0; i < placement.size(); ++i) {
+    features.add(point_geometry(net.position(placement[i])),
+                 R"({"kind":"rap","order":)" + std::to_string(i + 1) + "}");
+  }
+  return features.finish();
+}
+
+void write_geojson(const std::filesystem::path& path,
+                   const graph::RoadNetwork& net,
+                   std::span<const traffic::TrafficFlow> flows,
+                   graph::NodeId shop,
+                   std::span<const graph::NodeId> placement,
+                   const GeoJsonOptions& options) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_geojson: cannot open " + path.string());
+  }
+  out << to_geojson(net, flows, shop, placement, options);
+  if (!out) {
+    throw std::runtime_error("write_geojson: write failed for " + path.string());
+  }
+}
+
+}  // namespace rap::eval

@@ -1,0 +1,73 @@
+#include "src/eval/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/csv.h"
+#include "src/util/strings.h"
+
+namespace rap::eval {
+namespace {
+
+constexpr int kCellWidth = 16;
+
+std::string cell(const util::Summary& summary, bool with_ci) {
+  std::string text = util::format_fixed(summary.mean, 2);
+  if (with_ci) {
+    text += " +-" + util::format_fixed(summary.ci95_halfwidth, 2);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string format_table(const ExperimentResult& result, bool with_ci) {
+  std::ostringstream out;
+  const ExperimentConfig& config = result.config;
+  out << "# " << config.name << " | utility="
+      << traffic::make_utility(config.utility, config.range)->name()
+      << " D=" << util::format_fixed(config.range, 0)
+      << " shop=" << trace::to_string(config.shop_class)
+      << " scenario=" << (config.manhattan_scenario ? "manhattan" : "general")
+      << " reps=" << config.repetitions << "\n";
+  out << util::pad("k", 4);
+  for (const SeriesResult& series : result.series) {
+    out << util::pad(to_string(series.algorithm), kCellWidth);
+  }
+  out << "\n";
+  for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+    out << util::pad(std::to_string(config.ks[ki]), 4);
+    for (const SeriesResult& series : result.series) {
+      out << util::pad(cell(series.by_k[ki], with_ci), kCellWidth);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::vector<std::string>> to_csv_rows(
+    const ExperimentResult& result) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"k"};
+  for (const SeriesResult& series : result.series) {
+    header.emplace_back(to_string(series.algorithm));
+    header.emplace_back(std::string(to_string(series.algorithm)) + "_ci95");
+  }
+  rows.push_back(std::move(header));
+  for (std::size_t ki = 0; ki < result.config.ks.size(); ++ki) {
+    std::vector<std::string> row{std::to_string(result.config.ks[ki])};
+    for (const SeriesResult& series : result.series) {
+      row.push_back(util::format_fixed(series.by_k[ki].mean, 4));
+      row.push_back(util::format_fixed(series.by_k[ki].ci95_halfwidth, 4));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_csv(const ExperimentResult& result,
+               const std::filesystem::path& path) {
+  util::write_csv_file(path, to_csv_rows(result));
+}
+
+}  // namespace rap::eval

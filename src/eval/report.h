@@ -1,0 +1,27 @@
+// Report formatting: the aligned text tables printed by the figure benches
+// (rows = k, columns = algorithms, cells = mean attracted customers) and
+// the matching CSV rows.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/eval/experiment.h"
+
+namespace rap::eval {
+
+/// Human-readable table of one experiment (mean +/- 95% CI when
+/// `with_ci`).
+[[nodiscard]] std::string format_table(const ExperimentResult& result,
+                                       bool with_ci = false);
+
+/// CSV rows: header (k, <algorithm>...) then one row per k with means.
+[[nodiscard]] std::vector<std::vector<std::string>> to_csv_rows(
+    const ExperimentResult& result);
+
+/// Writes to_csv_rows to `path` (parent directories created).
+void write_csv(const ExperimentResult& result,
+               const std::filesystem::path& path);
+
+}  // namespace rap::eval

@@ -1,0 +1,47 @@
+// Demand robustness: the paper plans placements against *historical*
+// traffic ("the traffic distribution ... can be obtained from the
+// historical record"), but tomorrow's volumes differ from the record. This
+// module measures how a placement optimised on nominal demand holds up
+// when every flow's volume is perturbed:
+//   * achieved    — the fixed placement's value under perturbed demand;
+//   * reoptimized — the value of a greedy placement recomputed with perfect
+//                   knowledge of the perturbed demand (the hindsight bar);
+//   * regret      — achieved / reoptimized per sample (1.0 = no loss).
+// Multiplicative volume noise: vehicles' <- vehicles * max(0, 1 + cv * N(0,1)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace rap::eval {
+
+/// Perturbed copy of the flows — see traffic::perturb_demand (re-exported
+/// here because demand perturbation is the heart of this module's API).
+using traffic::perturb_demand;
+
+struct RobustnessOptions {
+  std::size_t k = 5;
+  std::size_t samples = 100;
+  double volume_cv = 0.25;
+  std::uint64_t seed = 1;
+};
+
+struct RobustnessResult {
+  core::PlacementResult nominal;  ///< placement planned on nominal demand
+  util::Summary achieved;         ///< its value under perturbed demand
+  util::Summary reoptimized;      ///< hindsight greedy per sample
+  util::Summary regret_ratio;     ///< achieved / reoptimized per sample
+};
+
+/// Plans with Algorithm 2 on nominal demand, then stress-tests across
+/// `samples` perturbed days. Throws on invalid options or inputs.
+[[nodiscard]] RobustnessResult demand_robustness(
+    const graph::RoadNetwork& net,
+    const std::vector<traffic::TrafficFlow>& flows, graph::NodeId shop,
+    const traffic::UtilityFunction& utility, const RobustnessOptions& options);
+
+}  // namespace rap::eval

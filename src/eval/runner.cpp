@@ -1,0 +1,221 @@
+#include "src/eval/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "src/core/baselines.h"
+#include "src/core/composite_greedy.h"
+#include "src/core/evaluator.h"
+#include "src/core/greedy.h"
+#include "src/core/problem.h"
+#include "src/geo/bbox.h"
+#include "src/manhattan/flexible_eval.h"
+#include "src/manhattan/two_stage.h"
+#include "src/util/rng.h"
+
+namespace rap::eval {
+namespace {
+
+bool is_two_stage(AlgorithmId id) noexcept {
+  return id == AlgorithmId::kTwoStageCorners ||
+         id == AlgorithmId::kTwoStageMidpoints;
+}
+
+// Value after each prefix of `order`; index j = value with the first j+1
+// RAPs. Shorter-than-k orders repeat their final value.
+std::vector<double> prefix_values(const core::CoverageModel& model,
+                                  std::span<const graph::NodeId> order) {
+  std::vector<double> values;
+  values.reserve(order.size());
+  core::PlacementState state(model);
+  for (const graph::NodeId node : order) {
+    state.add(node);
+    values.push_back(state.value());
+  }
+  return values;
+}
+
+double value_at_k(const std::vector<double>& prefixes, std::size_t k) {
+  if (prefixes.empty()) return 0.0;
+  return prefixes[std::min(k, prefixes.size()) - 1];
+}
+
+// Placement order of a nested algorithm at budget max_k.
+core::Placement nested_order(AlgorithmId id, const core::CoverageModel& model,
+                             std::size_t max_k, util::Rng& rng) {
+  switch (id) {
+    case AlgorithmId::kGreedyCoverage:
+      return core::greedy_coverage_placement(model, max_k).nodes;
+    case AlgorithmId::kCompositeGreedy:
+      return core::composite_greedy_placement(model, max_k).nodes;
+    case AlgorithmId::kNaiveGreedy:
+      return core::naive_marginal_greedy_placement(model, max_k).nodes;
+    case AlgorithmId::kMaxCardinality:
+      return core::max_cardinality_placement(model, max_k).nodes;
+    case AlgorithmId::kMaxVehicles:
+      return core::max_vehicles_placement(model, max_k).nodes;
+    case AlgorithmId::kMaxCustomers:
+      return core::max_customers_placement(model, max_k).nodes;
+    case AlgorithmId::kRandom:
+      return core::random_placement(model, max_k, rng).nodes;
+    case AlgorithmId::kTwoStageCorners:
+    case AlgorithmId::kTwoStageMidpoints:
+      break;
+  }
+  throw std::logic_error("nested_order: not a nested algorithm");
+}
+
+}  // namespace
+
+Workload make_workload(const graph::RoadNetwork& net,
+                       std::vector<traffic::TrafficFlow> flows,
+                       std::string name,
+                       const trace::ClassifyOptions& options) {
+  Workload workload;
+  workload.net = &net;
+  workload.classes = trace::classify_intersections(net, flows, options);
+  workload.flows = std::move(flows);
+  workload.name = std::move(name);
+  return workload;
+}
+
+ExperimentResult run_experiment(const Workload& workload,
+                                const ExperimentConfig& config) {
+  if (workload.net == nullptr) {
+    throw std::invalid_argument("run_experiment: workload has no network");
+  }
+  if (config.ks.empty() || config.algorithms.empty() ||
+      config.repetitions == 0) {
+    throw std::invalid_argument("run_experiment: empty sweep");
+  }
+  for (const AlgorithmId id : config.algorithms) {
+    if (is_two_stage(id) && !config.manhattan_scenario) {
+      throw std::invalid_argument(
+          "run_experiment: two-stage algorithms need the Manhattan scenario");
+    }
+  }
+  const std::vector<graph::NodeId> shop_pool =
+      trace::nodes_in_class(workload.classes, config.shop_class);
+  if (shop_pool.empty()) {
+    throw std::invalid_argument(
+        "run_experiment: no intersection in the requested shop class");
+  }
+  const std::size_t max_k =
+      *std::max_element(config.ks.begin(), config.ks.end());
+  const std::unique_ptr<traffic::UtilityFunction> utility =
+      traffic::make_utility(config.utility, config.range);
+
+  // One repetition's raw values, values[alg][k_index]. Repetitions are
+  // independent (per-rep forked RNG), so they can run on worker threads;
+  // accumulating in repetition order afterwards keeps results bit-identical
+  // to the serial path regardless of the thread count.
+  using RepValues = std::vector<std::vector<double>>;
+  const util::Rng root(config.seed);
+  const auto run_repetition = [&](std::size_t rep) {
+    util::Rng rng = root.fork(rep);
+    const graph::NodeId shop = shop_pool[rng.next_below(shop_pool.size())];
+
+    // Build the coverage model for this repetition's shop.
+    std::unique_ptr<core::CoverageModel> owned;
+    const manhattan::FlexibleProblem* flexible = nullptr;
+    if (config.manhattan_scenario) {
+      auto fp = std::make_unique<manhattan::FlexibleProblem>(
+          *workload.net, workload.flows, shop, *utility);
+      flexible = fp.get();
+      owned = std::move(fp);
+    } else {
+      owned = std::make_unique<core::PlacementProblem>(
+          *workload.net, workload.flows, shop, *utility, config.detour_mode);
+    }
+    const core::CoverageModel& model = *owned;
+    const geo::BBox region = geo::BBox::centered_square(
+        workload.net->position(shop), config.range);
+
+    RepValues values(config.algorithms.size(),
+                     std::vector<double>(config.ks.size(), 0.0));
+    for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
+      const AlgorithmId id = config.algorithms[a];
+      if (is_two_stage(id)) {
+        const manhattan::TwoStageVariant variant =
+            id == AlgorithmId::kTwoStageCorners
+                ? manhattan::TwoStageVariant::kCorners
+                : manhattan::TwoStageVariant::kMidpoints;
+        for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+          values[a][ki] = manhattan::two_stage_network_placement(
+                              *flexible, region, config.ks[ki], variant)
+                              .customers;
+        }
+        continue;
+      }
+      util::Rng alg_rng = rng.fork(1000 + a);
+      const core::Placement order = nested_order(id, model, max_k, alg_rng);
+      const std::vector<double> prefixes = prefix_values(model, order);
+      for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+        values[a][ki] = value_at_k(prefixes, config.ks[ki]);
+      }
+    }
+    return values;
+  };
+
+  std::vector<RepValues> per_rep(config.repetitions);
+  std::size_t threads = config.threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : config.threads;
+  threads = std::min(threads, config.repetitions);
+  if (threads <= 1) {
+    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+      per_rep[rep] = run_repetition(rep);
+    }
+  } else {
+    std::atomic<std::size_t> next_rep{0};
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t rep = next_rep.fetch_add(1);
+          if (rep >= config.repetitions) return;
+          per_rep[rep] = run_repetition(rep);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  // stats[alg][k_index], accumulated in repetition order.
+  std::vector<std::vector<util::RunningStats>> stats(
+      config.algorithms.size(),
+      std::vector<util::RunningStats>(config.ks.size()));
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
+      for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+        stats[a][ki].add(per_rep[rep][a][ki]);
+      }
+    }
+  }
+
+  ExperimentResult result;
+  result.config = config;
+  result.series.resize(config.algorithms.size());
+  for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
+    result.series[a].algorithm = config.algorithms[a];
+    result.series[a].by_k.resize(config.ks.size());
+    for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+      const util::RunningStats& s = stats[a][ki];
+      util::Summary& summary = result.series[a].by_k[ki];
+      summary.count = s.count();
+      summary.mean = s.mean();
+      summary.stddev = s.stddev();
+      summary.stderr_mean = s.stderr_mean();
+      summary.min = s.min();
+      summary.max = s.max();
+      summary.ci95_halfwidth = 1.96 * s.stderr_mean();
+    }
+  }
+  return result;
+}
+
+}  // namespace rap::eval

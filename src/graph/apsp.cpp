@@ -1,0 +1,45 @@
+#include "src/graph/apsp.h"
+
+#include <algorithm>
+
+#include "src/graph/dijkstra.h"
+
+namespace rap::graph {
+
+DistanceMatrix all_pairs_shortest_paths(const RoadNetwork& net) {
+  const std::size_t n = net.num_nodes();
+  DistanceMatrix out(n);
+  for (NodeId source = 0; source < n; ++source) {
+    const ShortestPathTree tree = dijkstra(net, source);
+    for (NodeId target = 0; target < n; ++target) {
+      out.set(source, target, tree.distances()[target]);
+    }
+  }
+  return out;
+}
+
+DistanceMatrix floyd_warshall(const RoadNetwork& net) {
+  const std::size_t n = net.num_nodes();
+  DistanceMatrix out(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      out.set(i, j, i == j ? 0.0 : kUnreachable);
+    }
+  }
+  for (const Edge& e : net.edges()) {
+    out.set(e.from, e.to, std::min(out(e.from, e.to), e.length));
+  }
+  for (NodeId k = 0; k < n; ++k) {
+    for (NodeId i = 0; i < n; ++i) {
+      const double dik = out(i, k);
+      if (dik == kUnreachable) continue;
+      for (NodeId j = 0; j < n; ++j) {
+        const double via = dik + out(k, j);
+        if (via < out(i, j)) out.set(i, j, via);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rap::graph

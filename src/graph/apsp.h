@@ -1,0 +1,55 @@
+// All-pairs shortest-path distances. The paper's complexity analysis charges
+// O(|V|^3) for this step; we run |V| Dijkstras (O(|V| (|E| + |V|) log |V|)),
+// which is never worse on sparse road networks, and keep a Floyd–Warshall
+// reference implementation for cross-checking in tests.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/graph/road_network.h"
+
+namespace rap::graph {
+
+/// Dense |V| x |V| distance matrix.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(std::size_t n)
+      : n_(n), dist_(n * n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double operator()(NodeId from, NodeId to) const {
+    check(from, to);
+    return dist_[from * n_ + to];
+  }
+  void set(NodeId from, NodeId to, double value) {
+    check(from, to);
+    dist_[from * n_ + to] = value;
+  }
+
+  /// Full row `from` (distances from one source to everything).
+  [[nodiscard]] std::span<const double> row(NodeId from) const {
+    check(from, 0);
+    return {dist_.data() + from * n_, n_};
+  }
+
+ private:
+  void check(NodeId from, NodeId to) const {
+    if (from >= n_ || to >= n_) {
+      throw std::out_of_range("DistanceMatrix: bad node id");
+    }
+  }
+
+  std::size_t n_;
+  std::vector<double> dist_;
+};
+
+/// APSP via repeated Dijkstra (production path).
+[[nodiscard]] DistanceMatrix all_pairs_shortest_paths(const RoadNetwork& net);
+
+/// APSP via Floyd–Warshall (O(|V|^3); test oracle).
+[[nodiscard]] DistanceMatrix floyd_warshall(const RoadNetwork& net);
+
+}  // namespace rap::graph

@@ -1,0 +1,106 @@
+#include "src/graph/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace rap::graph {
+namespace {
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) noexcept {
+    return a.dist > b.dist;
+  }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+struct RunResult {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+};
+
+// `target == kInvalidNode` runs to completion; otherwise stops once the
+// target is settled.
+RunResult run(const RoadNetwork& net, NodeId source, Direction direction,
+              NodeId target) {
+  net.check_node(source);
+  RunResult out;
+  out.dist.assign(net.num_nodes(), kUnreachable);
+  out.parent.assign(net.num_nodes(), kInvalidNode);
+  out.dist[source] = 0.0;
+
+  MinQueue queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, v] = queue.top();
+    queue.pop();
+    if (d > out.dist[v]) continue;  // stale entry
+    if (v == target) break;
+    const auto edges = direction == Direction::kForward ? net.out_edges(v)
+                                                        : net.in_edges(v);
+    for (const EdgeId id : edges) {
+      const Edge& e = net.edge(id);
+      const NodeId next = direction == Direction::kForward ? e.to : e.from;
+      const double candidate = d + e.length;
+      if (candidate < out.dist[next]) {
+        out.dist[next] = candidate;
+        out.parent[next] = v;
+        queue.push({candidate, next});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double ShortestPathTree::distance(NodeId node) const {
+  if (node >= dist_.size()) {
+    throw std::out_of_range("ShortestPathTree::distance: bad node id");
+  }
+  return dist_[node];
+}
+
+bool ShortestPathTree::reachable(NodeId node) const {
+  return distance(node) < kUnreachable;
+}
+
+std::optional<std::vector<NodeId>> ShortestPathTree::path_to(NodeId node) const {
+  if (!reachable(node)) return std::nullopt;
+  std::vector<NodeId> chain;
+  for (NodeId v = node; v != kInvalidNode; v = parent_[v]) chain.push_back(v);
+  // `chain` runs node -> source. Forward trees want source -> node; reverse
+  // trees represent travel node -> source, which is already chain order.
+  if (direction_ == Direction::kForward) {
+    std::reverse(chain.begin(), chain.end());
+  }
+  return chain;
+}
+
+ShortestPathTree dijkstra(const RoadNetwork& net, NodeId source,
+                          Direction direction) {
+  auto result = run(net, source, direction, kInvalidNode);
+  return {source, direction, std::move(result.dist), std::move(result.parent)};
+}
+
+double dijkstra_distance(const RoadNetwork& net, NodeId source, NodeId target) {
+  net.check_node(target);
+  if (source == target) return 0.0;
+  return run(net, source, Direction::kForward, target).dist[target];
+}
+
+std::optional<std::vector<NodeId>> shortest_path(const RoadNetwork& net,
+                                                 NodeId source, NodeId target) {
+  net.check_node(target);
+  auto result = run(net, source, Direction::kForward, target);
+  if (result.dist[target] == kUnreachable) return std::nullopt;
+  ShortestPathTree tree(source, Direction::kForward, std::move(result.dist),
+                        std::move(result.parent));
+  return tree.path_to(target);
+}
+
+}  // namespace rap::graph

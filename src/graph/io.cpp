@@ -1,0 +1,104 @@
+#include "src/graph/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/csv.h"
+#include "src/util/strings.h"
+
+namespace rap::graph {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("network csv: " + message);
+}
+
+double parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(text, &used);
+    if (used != text.size()) fail("not a number: '" + text + "'");
+    return out;
+  } catch (const std::logic_error&) {
+    fail("not a number: '" + text + "'");
+  }
+}
+
+NodeId parse_node(const std::string& text) {
+  NodeId out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail("not a node id: '" + text + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string network_to_csv(const RoadNetwork& net) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const geo::Point p = net.position(v);
+    writer.write_row({"node", util::format_fixed(p.x, 6),
+                      util::format_fixed(p.y, 6)});
+  }
+  for (const Edge& e : net.edges()) {
+    writer.write_row({"edge", std::to_string(e.from), std::to_string(e.to),
+                      util::format_fixed(e.length, 6)});
+  }
+  return out.str();
+}
+
+RoadNetwork network_from_csv(std::string_view text) {
+  RoadNetwork net;
+  for (const auto& row : util::parse_csv(text)) {
+    if (row.empty()) continue;
+    if (row[0] == "node") {
+      if (row.size() != 3) fail("node row needs x,y");
+      net.add_node({parse_double(row[1]), parse_double(row[2])});
+    } else if (row[0] == "edge") {
+      if (row.size() != 4) fail("edge row needs from,to,length");
+      const NodeId from = parse_node(row[1]);
+      const NodeId to = parse_node(row[2]);
+      if (from >= net.num_nodes() || to >= net.num_nodes()) {
+        fail("edge references an undeclared node");
+      }
+      net.add_edge(from, to, parse_double(row[3]));
+    } else {
+      fail("unknown row kind '" + row[0] + "'");
+    }
+  }
+  return net;
+}
+
+void write_network_csv(const std::filesystem::path& path,
+                       const RoadNetwork& net) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_network_csv: cannot open " + path.string());
+  }
+  out << network_to_csv(net);
+  if (!out) {
+    throw std::runtime_error("write_network_csv: write failed for " +
+                             path.string());
+  }
+}
+
+RoadNetwork read_network_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_network_csv: cannot open " + path.string());
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return network_from_csv(buffer.str());
+}
+
+}  // namespace rap::graph

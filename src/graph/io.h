@@ -1,0 +1,34 @@
+// Road-network CSV serialisation. One self-describing text format:
+//
+//   node,x,y
+//   ...            (one row per intersection, ids implicit by order)
+//   edge,from,to,length
+//   ...            (one row per DIRECTED edge)
+//
+// Two-way streets appear as two edge rows, so a round trip reproduces the
+// network exactly. Lets users persist generated cities or load real maps
+// exported from GIS tooling.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "src/graph/road_network.h"
+
+namespace rap::graph {
+
+/// Serialises the network (nodes first, then edges).
+[[nodiscard]] std::string network_to_csv(const RoadNetwork& net);
+
+/// Parses a network. Throws std::invalid_argument on malformed rows,
+/// unknown row kinds, edges before all their endpoints, or invalid edge
+/// data (RoadNetwork's own validation applies).
+[[nodiscard]] RoadNetwork network_from_csv(std::string_view text);
+
+/// File wrappers (throw std::runtime_error on I/O failure).
+void write_network_csv(const std::filesystem::path& path,
+                       const RoadNetwork& net);
+[[nodiscard]] RoadNetwork read_network_csv(const std::filesystem::path& path);
+
+}  // namespace rap::graph

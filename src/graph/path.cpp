@@ -1,0 +1,66 @@
+#include "src/graph/path.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/graph/dijkstra.h"
+
+namespace rap::graph {
+namespace {
+
+// Length of the shortest edge from -> to, or infinity if absent.
+double direct_edge_length(const RoadNetwork& net, NodeId from, NodeId to) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const EdgeId id : net.out_edges(from)) {
+    const Edge& e = net.edge(id);
+    if (e.to == to && e.length < best) best = e.length;
+  }
+  return best;
+}
+
+}  // namespace
+
+bool is_walk(const RoadNetwork& net, std::span<const NodeId> path) {
+  if (path.empty()) return false;
+  for (const NodeId v : path) {
+    if (v >= net.num_nodes()) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (!std::isfinite(direct_edge_length(net, path[i], path[i + 1]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double path_length(const RoadNetwork& net, std::span<const NodeId> path) {
+  if (!is_walk(net, path)) {
+    throw std::invalid_argument("path_length: not a walk in this network");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total += direct_edge_length(net, path[i], path[i + 1]);
+  }
+  return total;
+}
+
+std::vector<double> cumulative_lengths(const RoadNetwork& net,
+                                       std::span<const NodeId> path) {
+  if (!is_walk(net, path)) {
+    throw std::invalid_argument("cumulative_lengths: not a walk");
+  }
+  std::vector<double> out(path.size(), 0.0);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    out[i] = out[i - 1] + direct_edge_length(net, path[i - 1], path[i]);
+  }
+  return out;
+}
+
+bool is_shortest_path(const RoadNetwork& net, std::span<const NodeId> path) {
+  const double walked = path_length(net, path);  // validates the walk
+  const double optimal = dijkstra_distance(net, path.front(), path.back());
+  return walked <= optimal * (1.0 + 1e-9) + 1e-9;
+}
+
+}  // namespace rap::graph

@@ -1,0 +1,219 @@
+#include "src/graph/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rap::graph {
+
+NodeId RoadNetwork::add_node(geo::Point position) {
+  positions_.push_back(position);
+  adjacency_valid_ = false;
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+EdgeId RoadNetwork::add_edge(NodeId from, NodeId to, double length) {
+  check_node(from);
+  check_node(to);
+  if (from == to) {
+    throw std::invalid_argument("RoadNetwork::add_edge: self-loop");
+  }
+  if (!(length > 0.0) || !std::isfinite(length)) {
+    throw std::invalid_argument(
+        "RoadNetwork::add_edge: length must be finite and > 0");
+  }
+  edges_.push_back(Edge{from, to, length});
+  adjacency_valid_ = false;
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+EdgeId RoadNetwork::add_two_way_edge(NodeId a, NodeId b, double length) {
+  const EdgeId forward = add_edge(a, b, length);
+  add_edge(b, a, length);
+  return forward;
+}
+
+EdgeId RoadNetwork::add_street(NodeId a, NodeId b) {
+  check_node(a);
+  check_node(b);
+  return add_two_way_edge(a, b, euclidean_distance(positions_[a], positions_[b]));
+}
+
+geo::Point RoadNetwork::position(NodeId node) const {
+  check_node(node);
+  return positions_[node];
+}
+
+const Edge& RoadNetwork::edge(EdgeId id) const {
+  if (id >= edges_.size()) {
+    throw std::out_of_range("RoadNetwork::edge: bad edge id");
+  }
+  return edges_[id];
+}
+
+std::span<const EdgeId> RoadNetwork::out_edges(NodeId node) const {
+  check_node(node);
+  ensure_adjacency();
+  return {out_adj_.entries.data() + out_adj_.start[node],
+          out_adj_.entries.data() + out_adj_.start[node + 1]};
+}
+
+std::span<const EdgeId> RoadNetwork::in_edges(NodeId node) const {
+  check_node(node);
+  ensure_adjacency();
+  return {in_adj_.entries.data() + in_adj_.start[node],
+          in_adj_.entries.data() + in_adj_.start[node + 1]};
+}
+
+std::size_t RoadNetwork::out_degree(NodeId node) const {
+  return out_edges(node).size();
+}
+
+std::size_t RoadNetwork::in_degree(NodeId node) const {
+  return in_edges(node).size();
+}
+
+geo::BBox RoadNetwork::bounds() const {
+  geo::BBox box;
+  for (const geo::Point& p : positions_) box.expand(p);
+  return box;
+}
+
+void RoadNetwork::check_node(NodeId node) const {
+  if (node >= positions_.size()) {
+    throw std::out_of_range("RoadNetwork: bad node id");
+  }
+}
+
+void RoadNetwork::ensure_adjacency() const {
+  if (adjacency_valid_) return;
+  out_adj_ = build_adjacency(/*incoming=*/false);
+  in_adj_ = build_adjacency(/*incoming=*/true);
+  adjacency_valid_ = true;
+}
+
+RoadNetwork::Adjacency RoadNetwork::build_adjacency(bool incoming) const {
+  Adjacency adj;
+  adj.start.assign(positions_.size() + 1, 0);
+  for (const Edge& e : edges_) {
+    ++adj.start[(incoming ? e.to : e.from) + 1];
+  }
+  for (std::size_t i = 1; i < adj.start.size(); ++i) {
+    adj.start[i] += adj.start[i - 1];
+  }
+  adj.entries.resize(edges_.size());
+  std::vector<std::uint32_t> cursor(adj.start.begin(), adj.start.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const NodeId key = incoming ? edges_[id].to : edges_[id].from;
+    adj.entries[cursor[key]++] = id;
+  }
+  return adj;
+}
+
+namespace {
+
+// Iterative Tarjan SCC (explicit stack to survive deep graphs).
+class TarjanScc {
+ public:
+  explicit TarjanScc(const RoadNetwork& net) : net_(net) {
+    const auto n = net.num_nodes();
+    index_.assign(n, kUnvisited);
+    lowlink_.assign(n, 0);
+    on_stack_.assign(n, false);
+    component_.assign(n, kUnvisited);
+    for (NodeId v = 0; v < n; ++v) {
+      if (index_[v] == kUnvisited) run_from(v);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& components() const noexcept {
+    return component_;
+  }
+  [[nodiscard]] std::uint32_t component_count() const noexcept {
+    return next_component_;
+  }
+
+ private:
+  static constexpr std::uint32_t kUnvisited = ~std::uint32_t{0};
+
+  struct Frame {
+    NodeId node;
+    std::size_t next_edge = 0;
+  };
+
+  void run_from(NodeId root) {
+    std::vector<Frame> frames{{root}};
+    visit(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto out = net_.out_edges(frame.node);
+      if (frame.next_edge < out.size()) {
+        const NodeId next = net_.edge(out[frame.next_edge++]).to;
+        if (index_[next] == kUnvisited) {
+          visit(next);
+          frames.push_back({next});
+        } else if (on_stack_[next]) {
+          lowlink_[frame.node] = std::min(lowlink_[frame.node], index_[next]);
+        }
+        continue;
+      }
+      if (lowlink_[frame.node] == index_[frame.node]) {
+        for (;;) {
+          const NodeId w = stack_.back();
+          stack_.pop_back();
+          on_stack_[w] = false;
+          component_[w] = next_component_;
+          if (w == frame.node) break;
+        }
+        ++next_component_;
+      }
+      const NodeId finished = frame.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink_[frames.back().node] =
+            std::min(lowlink_[frames.back().node], lowlink_[finished]);
+      }
+    }
+  }
+
+  void visit(NodeId v) {
+    index_[v] = next_index_;
+    lowlink_[v] = next_index_;
+    ++next_index_;
+    stack_.push_back(v);
+    on_stack_[v] = true;
+  }
+
+  const RoadNetwork& net_;
+  std::vector<std::uint32_t> index_;
+  std::vector<std::uint32_t> lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<NodeId> stack_;
+  std::vector<std::uint32_t> component_;
+  std::uint32_t next_index_ = 0;
+  std::uint32_t next_component_ = 0;
+};
+
+}  // namespace
+
+bool RoadNetwork::is_strongly_connected() const {
+  if (num_nodes() <= 1) return true;
+  return TarjanScc(*this).component_count() == 1;
+}
+
+std::vector<NodeId> RoadNetwork::largest_scc() const {
+  if (num_nodes() == 0) return {};
+  const TarjanScc scc(*this);
+  std::vector<std::size_t> sizes(scc.component_count(), 0);
+  for (const std::uint32_t c : scc.components()) ++sizes[c];
+  const auto best = static_cast<std::uint32_t>(std::distance(
+      sizes.begin(), std::max_element(sizes.begin(), sizes.end())));
+  std::vector<NodeId> out;
+  out.reserve(sizes[best]);
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (scc.components()[v] == best) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rap::graph

@@ -1,0 +1,95 @@
+// Directed road network: intersections (nodes with planar coordinates) and
+// streets (directed weighted edges). Two-way streets are a pair of directed
+// edges; one-way streets a single edge — matching Section III-A of the paper
+// ("one-way and two-way streets").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/geo/bbox.h"
+#include "src/geo/point.h"
+
+namespace rap::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double length = 0.0;
+};
+
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  /// Adds an intersection at `position`; returns its id (ids are dense,
+  /// starting at 0).
+  NodeId add_node(geo::Point position);
+
+  /// Adds a one-way street. Throws on invalid endpoints, self-loops, or
+  /// non-positive / non-finite length.
+  EdgeId add_edge(NodeId from, NodeId to, double length);
+
+  /// Adds a two-way street (two directed edges of equal length); returns the
+  /// id of the forward edge (the backward edge is the next id).
+  EdgeId add_two_way_edge(NodeId a, NodeId b, double length);
+
+  /// Convenience: two-way street with length = Euclidean node distance.
+  EdgeId add_street(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return positions_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] geo::Point position(NodeId node) const;
+  [[nodiscard]] const std::vector<geo::Point>& positions() const noexcept {
+    return positions_;
+  }
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Outgoing edge ids of a node. Valid until the next add_edge call after
+  /// which the adjacency is lazily rebuilt.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId node) const;
+  /// Incoming edge ids of a node (for reverse Dijkstra).
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId node) const;
+
+  [[nodiscard]] std::size_t out_degree(NodeId node) const;
+  [[nodiscard]] std::size_t in_degree(NodeId node) const;
+
+  /// Bounding box of all node positions.
+  [[nodiscard]] geo::BBox bounds() const;
+
+  /// True if every node can reach every other node (strong connectivity).
+  [[nodiscard]] bool is_strongly_connected() const;
+
+  /// Ids of all nodes in the largest strongly connected component.
+  [[nodiscard]] std::vector<NodeId> largest_scc() const;
+
+  /// Validates a node id, throwing std::out_of_range on failure.
+  void check_node(NodeId node) const;
+
+ private:
+  struct Adjacency {
+    std::vector<std::uint32_t> start;  // CSR offsets, size num_nodes+1
+    std::vector<EdgeId> entries;
+  };
+
+  void ensure_adjacency() const;
+  [[nodiscard]] Adjacency build_adjacency(bool incoming) const;
+
+  std::vector<geo::Point> positions_;
+  std::vector<Edge> edges_;
+
+  mutable Adjacency out_adj_;
+  mutable Adjacency in_adj_;
+  mutable bool adjacency_valid_ = false;
+};
+
+}  // namespace rap::graph

@@ -1,0 +1,87 @@
+#include "src/graph/sp_dag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rap::graph {
+
+ShortestPathDag::ShortestPathDag(const RoadNetwork& net, NodeId origin,
+                                 NodeId destination)
+    : net_(&net),
+      origin_(origin),
+      destination_(destination),
+      from_origin_(dijkstra(net, origin, Direction::kForward)),
+      to_destination_(dijkstra(net, destination, Direction::kReverse)) {
+  total_ = from_origin_.distance(destination);
+  if (total_ == kUnreachable) {
+    throw std::invalid_argument(
+        "ShortestPathDag: destination unreachable from origin");
+  }
+}
+
+double ShortestPathDag::distance_from_origin(NodeId v) const {
+  return from_origin_.distance(v);
+}
+
+double ShortestPathDag::distance_to_destination(NodeId v) const {
+  return to_destination_.distance(v);
+}
+
+bool ShortestPathDag::on_some_shortest_path(NodeId v) const {
+  const double a = from_origin_.distance(v);
+  const double b = to_destination_.distance(v);
+  if (a == kUnreachable || b == kUnreachable) return false;
+  return a + b <= total_ + kTol * (1.0 + total_);
+}
+
+std::vector<NodeId> ShortestPathDag::dag_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < net_->num_nodes(); ++v) {
+    if (on_some_shortest_path(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::optional<std::vector<NodeId>> ShortestPathDag::path_via(NodeId via) const {
+  if (!on_some_shortest_path(via)) return std::nullopt;
+  // origin -> via from the forward tree, via -> destination from the reverse
+  // tree; both legs are shortest, and their concatenation has length
+  // dist(i,via) + dist(via,j) == dist(i,j), so it is a shortest path.
+  auto head = from_origin_.path_to(via);
+  auto tail = to_destination_.path_to(via);  // travel order via -> destination
+  if (!head || !tail) return std::nullopt;   // defensive; membership implies both
+  head->insert(head->end(), tail->begin() + 1, tail->end());
+  return head;
+}
+
+std::uint64_t ShortestPathDag::count_paths() const {
+  // Count by DP over nodes ordered by distance from the origin; ties in
+  // distance cannot be joined by a zero-length edge (lengths are > 0), so
+  // this order is topological for the shortest-path DAG.
+  std::vector<NodeId> nodes = dag_nodes();
+  std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    return from_origin_.distance(a) < from_origin_.distance(b);
+  });
+  constexpr std::uint64_t kCap = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::uint64_t> count(net_->num_nodes(), 0);
+  count[origin_] = 1;
+  for (const NodeId v : nodes) {
+    if (count[v] == 0) continue;
+    const double dv = from_origin_.distance(v);
+    for (const EdgeId id : net_->out_edges(v)) {
+      const Edge& e = net_->edge(id);
+      if (!on_some_shortest_path(e.to)) continue;
+      // The edge is on the DAG iff it preserves the shortest distance.
+      if (std::abs(dv + e.length - from_origin_.distance(e.to)) <=
+          kTol * (1.0 + total_)) {
+        const std::uint64_t sum = count[e.to] + count[v];
+        count[e.to] = std::min<std::uint64_t>(sum, kCap);
+      }
+    }
+  }
+  return count[destination_];
+}
+
+}  // namespace rap::graph

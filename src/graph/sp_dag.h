@@ -1,0 +1,60 @@
+// Shortest-path DAG queries for a fixed origin/destination pair.
+//
+// Section IV of the paper relaxes the unique-path assumption: in grid-like
+// cities a flow has *many* shortest paths, and drivers pick the one passing a
+// RAP to collect the free advertisement. The exact membership test — node v
+// lies on some shortest path from i to j iff
+//     dist(i, v) + dist(v, j) == dist(i, j)
+// — needs dist(i, ·) (forward Dijkstra from i) and dist(·, j) (reverse
+// Dijkstra from j), which this class caches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/dijkstra.h"
+#include "src/graph/road_network.h"
+
+namespace rap::graph {
+
+class ShortestPathDag {
+ public:
+  /// Throws std::invalid_argument when j is unreachable from i.
+  ShortestPathDag(const RoadNetwork& net, NodeId origin, NodeId destination);
+
+  [[nodiscard]] NodeId origin() const noexcept { return origin_; }
+  [[nodiscard]] NodeId destination() const noexcept { return destination_; }
+  [[nodiscard]] double total_distance() const noexcept { return total_; }
+
+  /// dist(origin, v); kUnreachable if v cannot be reached.
+  [[nodiscard]] double distance_from_origin(NodeId v) const;
+  /// dist(v, destination); kUnreachable if the destination is not reachable.
+  [[nodiscard]] double distance_to_destination(NodeId v) const;
+
+  /// True iff v lies on at least one shortest origin->destination path.
+  [[nodiscard]] bool on_some_shortest_path(NodeId v) const;
+
+  /// All nodes on some shortest path, in ascending node id.
+  [[nodiscard]] std::vector<NodeId> dag_nodes() const;
+
+  /// One concrete shortest path that passes through `via`; std::nullopt when
+  /// `via` is not on the DAG.
+  [[nodiscard]] std::optional<std::vector<NodeId>> path_via(NodeId via) const;
+
+  /// Number of distinct shortest paths (counts capped at 2^63-1 to avoid
+  /// overflow on large grids; exact below the cap).
+  [[nodiscard]] std::uint64_t count_paths() const;
+
+ private:
+  static constexpr double kTol = 1e-9;
+
+  const RoadNetwork* net_;
+  NodeId origin_;
+  NodeId destination_;
+  double total_ = 0.0;
+  ShortestPathTree from_origin_;
+  ShortestPathTree to_destination_;
+};
+
+}  // namespace rap::graph

@@ -1,0 +1,172 @@
+#include "src/manhattan/two_stage.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "src/core/composite_greedy.h"
+#include "src/core/evaluator.h"
+#include "src/core/exhaustive.h"
+#include "src/core/filtered.h"
+#include "src/manhattan/flow_class.h"
+
+namespace rap::manhattan {
+namespace {
+
+// Exhaustive optimum when affordable, composite greedy otherwise.
+core::PlacementResult small_k_placement(const core::CoverageModel& model,
+                                        std::size_t k,
+                                        const TwoStageOptions& options) {
+  if (core::exhaustive_combination_count(model, k) <= options.exhaustive_cap) {
+    return core::exhaustive_optimal_placement(model, k,
+                                              {options.exhaustive_cap});
+  }
+  return core::composite_greedy_placement(model, k);
+}
+
+// Greedily extends `state` by up to `budget` RAPs maximising the marginal
+// gain on `model`; stops when nothing gains. Used with the straight-flow
+// filter for stage 2 and with the full model for the leftover budget.
+void greedy_extend(const core::CoverageModel& model,
+                   core::PlacementState& state, std::size_t budget) {
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  for (std::size_t step = 0; step < budget; ++step) {
+    graph::NodeId best = graph::kInvalidNode;
+    double best_gain = 0.0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (state.contains(v)) continue;
+      const double gain = state.gain_if_added(v);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best == graph::kInvalidNode) break;
+    state.add(best);
+  }
+}
+
+// Mask of straight flows on the ideal grid.
+std::vector<bool> straight_mask_grid(const GridCoverageModel& model) {
+  std::vector<bool> mask(model.num_flows(), false);
+  for (std::size_t f = 0; f < model.flows().size(); ++f) {
+    mask[f] = classify_grid_flow(model.scenario(), model.flows()[f]) ==
+              GridFlowClass::kStraight;
+  }
+  return mask;
+}
+
+// Mask of straight flows judged by region crossing on the real network.
+std::vector<bool> straight_mask_network(const FlexibleProblem& model,
+                                        const geo::BBox& region,
+                                        double alignment_tol) {
+  std::vector<bool> mask(model.num_flows(), false);
+  for (std::size_t f = 0; f < model.flows().size(); ++f) {
+    mask[f] = classify_path_region(model.network(), model.flows()[f].path,
+                                   region, alignment_tol) ==
+              GridFlowClass::kStraight;
+  }
+  return mask;
+}
+
+graph::NodeId nearest_node(const graph::RoadNetwork& net, geo::Point target) {
+  graph::NodeId best = graph::kInvalidNode;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+    const double d = geo::squared_distance(net.position(v), target);
+    if (d < best_dist) {
+      best_dist = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+// Re-values the straight-stage placement on the full model and optionally
+// spends any leftover budget there.
+core::PlacementResult finish(const core::CoverageModel& model,
+                             const core::PlacementState& staged, std::size_t k,
+                             const TwoStageOptions& options) {
+  core::PlacementState full(model);
+  for (const graph::NodeId v : staged.placement()) full.add(v);
+  if (options.spend_leftover_budget && full.placement().size() < k) {
+    greedy_extend(model, full, k - full.placement().size());
+  }
+  return {full.placement(), full.value()};
+}
+
+}  // namespace
+
+core::PlacementResult two_stage_grid_placement(const GridCoverageModel& model,
+                                               std::size_t k,
+                                               TwoStageVariant variant,
+                                               const TwoStageOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument("two_stage_grid_placement: k must be > 0");
+  }
+  if (k <= 4) return small_k_placement(model, k, options);
+
+  const GridScenario& scenario = model.scenario();
+  const citygen::GridCity& city = scenario.city();
+  const std::size_t last = scenario.n() - 1;
+  const std::size_t mid = scenario.shop_coord().col;  // == row (square grid)
+
+  core::PlacementState state(model);
+  const auto corner_stage_coord = [&](std::size_t col, std::size_t row) {
+    if (variant == TwoStageVariant::kCorners) {
+      return citygen::GridCoord{col, row};
+    }
+    // Midpoint between the corner and the shop, snapped to the grid.
+    return citygen::GridCoord{(col + mid) / 2, (row + mid) / 2};
+  };
+  state.add(city.node_at(corner_stage_coord(0, 0)));
+  state.add(city.node_at(corner_stage_coord(last, 0)));
+  state.add(city.node_at(corner_stage_coord(0, last)));
+  state.add(city.node_at(corner_stage_coord(last, last)));
+
+  const core::FilteredCoverageModel straight(model, straight_mask_grid(model));
+  core::PlacementState straight_state(straight);
+  for (const graph::NodeId v : state.placement()) straight_state.add(v);
+  greedy_extend(straight, straight_state, k - state.placement().size());
+  return finish(model, straight_state, k, options);
+}
+
+core::PlacementResult two_stage_network_placement(
+    const FlexibleProblem& model, const geo::BBox& region, std::size_t k,
+    TwoStageVariant variant, const TwoStageOptions& options) {
+  if (k == 0) {
+    throw std::invalid_argument("two_stage_network_placement: k must be > 0");
+  }
+  if (region.empty()) {
+    throw std::invalid_argument("two_stage_network_placement: empty region");
+  }
+  if (k <= 4) return small_k_placement(model, k, options);
+
+  const graph::RoadNetwork& net = model.network();
+  const geo::Point lo = region.min();
+  const geo::Point hi = region.max();
+  const geo::Point center = region.center();
+  std::array<geo::Point, 4> anchors{geo::Point{lo.x, lo.y},
+                                    geo::Point{hi.x, lo.y},
+                                    geo::Point{lo.x, hi.y},
+                                    geo::Point{hi.x, hi.y}};
+  if (variant == TwoStageVariant::kMidpoints) {
+    for (geo::Point& p : anchors) p = midpoint(p, center);
+  }
+
+  core::PlacementState state(model);
+  for (const geo::Point& anchor : anchors) {
+    const graph::NodeId node = nearest_node(net, anchor);
+    if (node != graph::kInvalidNode) state.add(node);
+  }
+
+  const core::FilteredCoverageModel straight(
+      model, straight_mask_network(model, region, options.alignment_tol));
+  core::PlacementState straight_state(straight);
+  for (const graph::NodeId v : state.placement()) straight_state.add(v);
+  greedy_extend(straight, straight_state, k - state.placement().size());
+  return finish(model, straight_state, k, options);
+}
+
+}  // namespace rap::manhattan

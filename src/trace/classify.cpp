@@ -1,0 +1,81 @@
+#include "src/trace/classify.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rap::trace {
+
+std::vector<double> passing_vehicles_per_node(
+    const graph::RoadNetwork& net,
+    const std::vector<traffic::TrafficFlow>& flows) {
+  std::vector<double> vehicles(net.num_nodes(), 0.0);
+  std::vector<std::uint32_t> seen(net.num_nodes(), ~std::uint32_t{0});
+  for (std::uint32_t f = 0; f < flows.size(); ++f) {
+    traffic::validate_flow(net, flows[f]);
+    for (const graph::NodeId v : flows[f].path) {
+      if (seen[v] == f) continue;  // count a flow once per intersection
+      seen[v] = f;
+      vehicles[v] += flows[f].daily_vehicles;
+    }
+  }
+  return vehicles;
+}
+
+std::vector<LocationClass> classify_intersections(
+    const graph::RoadNetwork& net,
+    const std::vector<traffic::TrafficFlow>& flows,
+    const ClassifyOptions& options) {
+  if (options.center_fraction < 0.0 || options.city_fraction < 0.0 ||
+      options.center_fraction + options.city_fraction > 1.0) {
+    throw std::invalid_argument("classify_intersections: bad fractions");
+  }
+  const std::vector<double> vehicles = passing_vehicles_per_node(net, flows);
+
+  // Rank only intersections with traffic; traffic-free ones are suburb.
+  std::vector<graph::NodeId> ranked;
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (vehicles[v] > 0.0) ranked.push_back(v);
+  }
+  std::sort(ranked.begin(), ranked.end(), [&](graph::NodeId a, graph::NodeId b) {
+    if (vehicles[a] != vehicles[b]) return vehicles[a] > vehicles[b];
+    return a < b;
+  });
+
+  std::vector<LocationClass> classes(net.num_nodes(), LocationClass::kSuburb);
+  const auto center_cut = static_cast<std::size_t>(
+      options.center_fraction * static_cast<double>(ranked.size()));
+  const auto city_cut = static_cast<std::size_t>(
+      (options.center_fraction + options.city_fraction) *
+      static_cast<double>(ranked.size()));
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (i < center_cut) {
+      classes[ranked[i]] = LocationClass::kCityCenter;
+    } else if (i < city_cut) {
+      classes[ranked[i]] = LocationClass::kCity;
+    }
+  }
+  return classes;
+}
+
+std::vector<graph::NodeId> nodes_in_class(
+    const std::vector<LocationClass>& classes, LocationClass wanted) {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < classes.size(); ++v) {
+    if (classes[v] == wanted) out.push_back(v);
+  }
+  return out;
+}
+
+const char* to_string(LocationClass c) noexcept {
+  switch (c) {
+    case LocationClass::kCityCenter:
+      return "city-center";
+    case LocationClass::kCity:
+      return "city";
+    case LocationClass::kSuburb:
+      return "suburb";
+  }
+  return "unknown";
+}
+
+}  // namespace rap::trace

@@ -1,0 +1,44 @@
+// Intersection classification (Section V-A): "according to the amount of
+// passing traffic flows, all the street intersections in both traces are
+// classified into city's center, city, or suburb" — used to pick shop
+// locations in the experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/traffic/flow.h"
+
+namespace rap::trace {
+
+enum class LocationClass : std::uint8_t { kCityCenter, kCity, kSuburb };
+
+struct ClassifyOptions {
+  /// Top fraction (by passing vehicles) tagged city-centre.
+  double center_fraction = 0.10;
+  /// Next fraction tagged city; the rest (and all traffic-free
+  /// intersections) are suburb.
+  double city_fraction = 0.40;
+};
+
+/// Daily vehicles passing each intersection, summed over flows (each flow
+/// counts once per distinct intersection on its path).
+[[nodiscard]] std::vector<double> passing_vehicles_per_node(
+    const graph::RoadNetwork& net,
+    const std::vector<traffic::TrafficFlow>& flows);
+
+/// Class per intersection. Throws std::invalid_argument when the fractions
+/// are negative or sum above 1.
+[[nodiscard]] std::vector<LocationClass> classify_intersections(
+    const graph::RoadNetwork& net,
+    const std::vector<traffic::TrafficFlow>& flows,
+    const ClassifyOptions& options = {});
+
+/// All intersections of one class.
+[[nodiscard]] std::vector<graph::NodeId> nodes_in_class(
+    const std::vector<LocationClass>& classes, LocationClass wanted);
+
+[[nodiscard]] const char* to_string(LocationClass c) noexcept;
+
+}  // namespace rap::trace

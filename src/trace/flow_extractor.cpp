@@ -1,0 +1,57 @@
+#include "src/trace/flow_extractor.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace rap::trace {
+
+std::vector<traffic::TrafficFlow> extract_flows(
+    const MapMatcher& matcher, std::span<const TraceRecord> records,
+    const ExtractionOptions& options) {
+  if (!(options.passengers_per_vehicle > 0.0)) {
+    throw std::invalid_argument(
+        "extract_flows: passengers_per_vehicle must be > 0");
+  }
+  if (options.alpha < 0.0 || options.alpha > 1.0) {
+    throw std::invalid_argument("extract_flows: alpha must be in [0, 1]");
+  }
+
+  const std::vector<RunView> runs = split_runs(records);  // validates sorting
+
+  // journey -> (walk -> multiplicity). std::map keeps journey order stable
+  // and walks comparable without hashing.
+  std::map<std::uint32_t, std::map<std::vector<graph::NodeId>, std::size_t>>
+      walks_by_journey;
+  std::map<std::uint32_t, std::size_t> matched_runs;
+  for (const RunView& run : runs) {
+    std::vector<graph::NodeId> walk = matcher.match_run(run.records);
+    if (walk.size() < 2) continue;  // unmatched or trivial run
+    ++walks_by_journey[run.journey_id][std::move(walk)];
+    ++matched_runs[run.journey_id];
+  }
+
+  std::vector<traffic::TrafficFlow> flows;
+  flows.reserve(walks_by_journey.size());
+  for (const auto& [journey, walks] : walks_by_journey) {
+    const std::size_t run_count = matched_runs[journey];
+    if (run_count < options.min_runs) continue;
+    // Representative path: the most frequent walk (ties: the first in
+    // lexicographic walk order, deterministic).
+    const auto representative = std::max_element(
+        walks.begin(), walks.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    traffic::TrafficFlow flow;
+    flow.path = representative->first;
+    flow.origin = flow.path.front();
+    flow.destination = flow.path.back();
+    flow.daily_vehicles = static_cast<double>(run_count);
+    flow.passengers_per_vehicle = options.passengers_per_vehicle;
+    flow.alpha = options.alpha;
+    traffic::validate_flow(matcher.network(), flow);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+}  // namespace rap::trace

@@ -1,0 +1,58 @@
+// Synthetic GPS trace generation — the substitution for the proprietary
+// Dublin and Seattle bus datasets (see DESIGN.md §3).
+//
+// The generator plants a set of ground-truth traffic flows (journey
+// patterns) with a gravity demand model biased towards the city centre,
+// then simulates each vehicle run along its pattern's path, emitting noisy,
+// subsampled GPS records. The planted flows are returned alongside the
+// records so tests can verify that the map-matching + extraction pipeline
+// recovers them.
+#pragma once
+
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/trace/record.h"
+#include "src/traffic/flow.h"
+#include "src/util/rng.h"
+
+namespace rap::trace {
+
+struct TraceGenSpec {
+  /// Number of distinct journey patterns (traffic flows) to plant.
+  std::size_t num_journeys = 50;
+  /// Mean daily runs (vehicles) per journey; actual counts ~ 1 + Poisson.
+  double mean_runs_per_journey = 20.0;
+  /// Distance between consecutive GPS samples along the path, feet.
+  double sample_spacing = 400.0;
+  /// Stddev of isotropic GPS position noise, feet.
+  double gps_noise = 50.0;
+  /// Probability that an individual GPS sample is lost.
+  double drop_prob = 0.05;
+  /// Average vehicle speed, feet/second (timestamps only).
+  double speed = 30.0;
+  /// Demand gravity: node attractiveness = exp(-dist_to_centre / scale)
+  /// where scale = centre_scale_fraction * network diameter estimate.
+  double center_scale_fraction = 0.35;
+  /// Minimum OD Euclidean separation as a fraction of the bbox diagonal
+  /// (rejects trivial trips).
+  double min_trip_fraction = 0.25;
+  /// Potential customers per vehicle (100 Dublin / 200 Seattle).
+  double passengers_per_vehicle = 100.0;
+  /// Advertisement attractiveness (0.001 in the paper's evaluation).
+  double alpha = 0.001;
+};
+
+struct SyntheticTrace {
+  std::vector<TraceRecord> records;  ///< sorted (journey, run, time)
+  /// Ground truth: one flow per journey pattern, daily_vehicles = run count.
+  std::vector<traffic::TrafficFlow> planted_flows;
+};
+
+/// Generates a trace deterministically from `rng`. Throws
+/// std::invalid_argument on bad spec values or a network with < 2 nodes.
+[[nodiscard]] SyntheticTrace generate_trace(const graph::RoadNetwork& net,
+                                            const TraceGenSpec& spec,
+                                            util::Rng& rng);
+
+}  // namespace rap::trace

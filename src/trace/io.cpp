@@ -1,0 +1,179 @@
+#include "src/trace/io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/util/csv.h"
+#include "src/util/strings.h"
+
+namespace rap::trace {
+namespace {
+
+constexpr const char* kRecordHeader[] = {"vehicle_id", "journey_id", "run_id",
+                                         "timestamp", "x", "y"};
+constexpr const char* kFlowHeader[] = {
+    "origin", "destination", "daily_vehicles", "passengers_per_vehicle",
+    "alpha",  "path"};
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("trace io: " + message);
+}
+
+template <std::size_t N>
+void check_header(const std::vector<std::string>& row,
+                  const char* const (&expected)[N]) {
+  if (row.size() != N) fail("bad header width");
+  for (std::size_t i = 0; i < N; ++i) {
+    if (row[i] != expected[i]) {
+      fail("bad header column '" + row[i] + "' (expected '" + expected[i] + "')");
+    }
+  }
+}
+
+std::uint32_t parse_u32(const std::string& text) {
+  std::uint32_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail("not an unsigned integer: '" + text + "'");
+  }
+  return out;
+}
+
+double parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(text, &used);
+    if (used != text.size()) fail("not a number: '" + text + "'");
+    return out;
+  } catch (const std::logic_error&) {
+    fail("not a number: '" + text + "'");
+  }
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("trace io: cannot open " + path.string());
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("trace io: cannot open " + path.string());
+  }
+  out << text;
+  if (!out) {
+    throw std::runtime_error("trace io: write failed for " + path.string());
+  }
+}
+
+}  // namespace
+
+std::string records_to_csv(std::span<const TraceRecord> records) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"vehicle_id", "journey_id", "run_id", "timestamp", "x", "y"});
+  for (const TraceRecord& r : records) {
+    writer.write_row({std::to_string(r.vehicle_id), std::to_string(r.journey_id),
+                      std::to_string(r.run_id),
+                      util::format_fixed(r.timestamp, 3),
+                      util::format_fixed(r.position.x, 3),
+                      util::format_fixed(r.position.y, 3)});
+  }
+  return out.str();
+}
+
+std::vector<TraceRecord> records_from_csv(std::string_view text) {
+  const auto rows = util::parse_csv(text);
+  if (rows.empty()) fail("missing header");
+  check_header(rows[0], kRecordHeader);
+  std::vector<TraceRecord> records;
+  records.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 6) fail("ragged row " + std::to_string(i));
+    TraceRecord r;
+    r.vehicle_id = parse_u32(row[0]);
+    r.journey_id = parse_u32(row[1]);
+    r.run_id = parse_u32(row[2]);
+    r.timestamp = parse_double(row[3]);
+    r.position = {parse_double(row[4]), parse_double(row[5])};
+    records.push_back(r);
+  }
+  return records;
+}
+
+void write_records_csv(const std::filesystem::path& path,
+                       std::span<const TraceRecord> records) {
+  write_file(path, records_to_csv(records));
+}
+
+std::vector<TraceRecord> read_records_csv(const std::filesystem::path& path) {
+  return records_from_csv(read_file(path));
+}
+
+std::string flows_to_csv(std::span<const traffic::TrafficFlow> flows) {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"origin", "destination", "daily_vehicles",
+                    "passengers_per_vehicle", "alpha", "path"});
+  for (const traffic::TrafficFlow& flow : flows) {
+    std::vector<std::string> nodes;
+    nodes.reserve(flow.path.size());
+    for (const graph::NodeId v : flow.path) nodes.push_back(std::to_string(v));
+    writer.write_row({std::to_string(flow.origin),
+                      std::to_string(flow.destination),
+                      util::format_fixed(flow.daily_vehicles, 6),
+                      util::format_fixed(flow.passengers_per_vehicle, 6),
+                      util::format_fixed(flow.alpha, 9),
+                      util::join(nodes, "|")});
+  }
+  return out.str();
+}
+
+std::vector<traffic::TrafficFlow> flows_from_csv(const graph::RoadNetwork& net,
+                                                 std::string_view text) {
+  const auto rows = util::parse_csv(text);
+  if (rows.empty()) fail("missing header");
+  check_header(rows[0], kFlowHeader);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.reserve(rows.size() - 1);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 6) fail("ragged row " + std::to_string(i));
+    traffic::TrafficFlow flow;
+    flow.origin = parse_u32(row[0]);
+    flow.destination = parse_u32(row[1]);
+    flow.daily_vehicles = parse_double(row[2]);
+    flow.passengers_per_vehicle = parse_double(row[3]);
+    flow.alpha = parse_double(row[4]);
+    for (const std::string& node : util::split(row[5], '|')) {
+      flow.path.push_back(parse_u32(node));
+    }
+    traffic::validate_flow(net, flow);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+void write_flows_csv(const std::filesystem::path& path,
+                     std::span<const traffic::TrafficFlow> flows) {
+  write_file(path, flows_to_csv(flows));
+}
+
+std::vector<traffic::TrafficFlow> read_flows_csv(
+    const graph::RoadNetwork& net, const std::filesystem::path& path) {
+  return flows_from_csv(net, read_file(path));
+}
+
+}  // namespace rap::trace

@@ -1,0 +1,47 @@
+// Trace and flow CSV I/O.
+//
+// Record CSV schema (header required, column order fixed):
+//   vehicle_id,journey_id,run_id,timestamp,x,y
+// matching the fields the paper's datasets expose (bus id, journey/route
+// id, coordinates) plus the explicit run id. Flows serialise as
+//   origin,destination,daily_vehicles,passengers_per_vehicle,alpha,path
+// with `path` a '|'-separated node-id list — enough to check a regenerated
+// workload into version control or feed in a real, externally matched one.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/trace/record.h"
+#include "src/traffic/flow.h"
+
+namespace rap::trace {
+
+/// Serialises records to CSV text (with header).
+[[nodiscard]] std::string records_to_csv(std::span<const TraceRecord> records);
+
+/// Parses records from CSV text. Throws std::invalid_argument on a missing
+/// or wrong header, malformed numbers, or ragged rows.
+[[nodiscard]] std::vector<TraceRecord> records_from_csv(std::string_view text);
+
+/// File convenience wrappers (throw std::runtime_error on I/O failure).
+void write_records_csv(const std::filesystem::path& path,
+                       std::span<const TraceRecord> records);
+[[nodiscard]] std::vector<TraceRecord> read_records_csv(
+    const std::filesystem::path& path);
+
+/// Serialises flows to CSV text (with header).
+[[nodiscard]] std::string flows_to_csv(
+    std::span<const traffic::TrafficFlow> flows);
+
+/// Parses flows from CSV text; paths are validated against `net`.
+[[nodiscard]] std::vector<traffic::TrafficFlow> flows_from_csv(
+    const graph::RoadNetwork& net, std::string_view text);
+
+void write_flows_csv(const std::filesystem::path& path,
+                     std::span<const traffic::TrafficFlow> flows);
+[[nodiscard]] std::vector<traffic::TrafficFlow> read_flows_csv(
+    const graph::RoadNetwork& net, const std::filesystem::path& path);
+
+}  // namespace rap::trace

@@ -1,0 +1,45 @@
+// Map matching: GPS samples -> intersection sequences.
+//
+// Each sample snaps to the nearest intersection within `snap_radius`;
+// consecutive duplicates collapse; gaps (consecutive snapped intersections
+// without a direct street) are stitched with the network shortest path so
+// the result is always a walk on the network — which is what
+// traffic::validate_flow demands of a flow path.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/geo/spatial_index.h"
+#include "src/graph/road_network.h"
+#include "src/trace/record.h"
+
+namespace rap::trace {
+
+class MapMatcher {
+ public:
+  /// `snap_radius` — max distance from a sample to its intersection; samples
+  /// further away are discarded (GPS outliers). Throws when <= 0.
+  MapMatcher(const graph::RoadNetwork& net, double snap_radius);
+
+  [[nodiscard]] const graph::RoadNetwork& network() const noexcept {
+    return *net_;
+  }
+
+  /// Nearest intersection within the snap radius, if any.
+  [[nodiscard]] std::optional<graph::NodeId> snap(const geo::Point& p) const;
+
+  /// Matches one vehicle run to a walk on the network. Returns an empty
+  /// vector when no sample snapped or the walk could not be stitched
+  /// (disconnected snaps).
+  [[nodiscard]] std::vector<graph::NodeId> match_run(
+      std::span<const TraceRecord> run) const;
+
+ private:
+  const graph::RoadNetwork* net_;
+  double snap_radius_;
+  geo::SpatialIndex index_;
+};
+
+}  // namespace rap::trace

@@ -1,0 +1,43 @@
+#include "src/trace/record.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace rap::trace {
+namespace {
+
+auto order_key(const TraceRecord& r) {
+  return std::tuple(r.journey_id, r.run_id, r.timestamp);
+}
+
+}  // namespace
+
+void sort_records(std::vector<TraceRecord>& records) noexcept {
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              return order_key(a) < order_key(b);
+            });
+}
+
+std::vector<RunView> split_runs(std::span<const TraceRecord> records) {
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (order_key(records[i]) < order_key(records[i - 1])) {
+      throw std::invalid_argument("split_runs: records are not sorted");
+    }
+  }
+  std::vector<RunView> runs;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= records.size(); ++i) {
+    const bool boundary = i == records.size() ||
+                          records[i].run_id != records[begin].run_id ||
+                          records[i].journey_id != records[begin].journey_id;
+    if (!boundary) continue;
+    runs.push_back(RunView{records[begin].journey_id, records[begin].run_id,
+                           records.subspan(begin, i - begin)});
+    begin = i;
+  }
+  return runs;
+}
+
+}  // namespace rap::trace

@@ -1,0 +1,58 @@
+#include "src/traffic/apsp_detour.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/path.h"
+
+namespace rap::traffic {
+
+ApspDetourCalculator::ApspDetourCalculator(const graph::RoadNetwork& net,
+                                           graph::NodeId shop, DetourMode mode)
+    : net_(&net),
+      owned_matrix_(std::make_unique<graph::DistanceMatrix>(
+          graph::all_pairs_shortest_paths(net))),
+      matrix_(owned_matrix_.get()),
+      shop_(shop),
+      mode_(mode) {
+  net.check_node(shop);
+}
+
+ApspDetourCalculator::ApspDetourCalculator(const graph::RoadNetwork& net,
+                                           const graph::DistanceMatrix& matrix,
+                                           graph::NodeId shop, DetourMode mode)
+    : net_(&net), matrix_(&matrix), shop_(shop), mode_(mode) {
+  net.check_node(shop);
+  if (matrix.size() != net.num_nodes()) {
+    throw std::invalid_argument(
+        "ApspDetourCalculator: matrix size != network size");
+  }
+}
+
+std::vector<double> ApspDetourCalculator::detours_along_path(
+    const TrafficFlow& flow) const {
+  validate_flow(*net_, flow);
+  std::vector<double> out(flow.path.size(), graph::kUnreachable);
+  const double d2 = (*matrix_)(shop_, flow.destination);  // d''
+  if (d2 == graph::kUnreachable) return out;
+
+  std::vector<double> direct(flow.path.size());
+  if (mode_ == DetourMode::kAlongPath) {
+    const std::vector<double> cum = graph::cumulative_lengths(*net_, flow.path);
+    for (std::size_t i = 0; i < flow.path.size(); ++i) {
+      direct[i] = cum.back() - cum[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < flow.path.size(); ++i) {
+      direct[i] = (*matrix_)(flow.path[i], flow.destination);
+    }
+  }
+  for (std::size_t i = 0; i < flow.path.size(); ++i) {
+    const double d1 = (*matrix_)(flow.path[i], shop_);  // d'
+    if (d1 == graph::kUnreachable || direct[i] == graph::kUnreachable) continue;
+    out[i] = std::max(0.0, d1 + d2 - direct[i]);
+  }
+  return out;
+}
+
+}  // namespace rap::traffic

@@ -1,0 +1,46 @@
+// The paper's literal detour preprocessing: "O(|V|^3) results from the
+// calculation of detour distances, since we need to calculate the shortest
+// paths between all pairs of nodes."
+//
+// ApspDetourCalculator materialises the full all-pairs distance matrix and
+// prices detours from it — simple, and the right choice when MANY shops are
+// evaluated against one network (the matrix is shop-independent). The
+// per-shop DetourCalculator (two Dijkstras + per-destination caches) is
+// asymptotically cheaper for a single shop on sparse road networks; tests
+// assert the two agree exactly, and bench/ablation compares build costs.
+#pragma once
+
+#include <memory>
+
+#include "src/graph/apsp.h"
+#include "src/traffic/detour.h"
+
+namespace rap::traffic {
+
+class ApspDetourCalculator final : public DetourSource {
+ public:
+  /// Computes the full distance matrix (O(|V| * Dijkstra)). `net` must
+  /// outlive the calculator.
+  ApspDetourCalculator(const graph::RoadNetwork& net, graph::NodeId shop,
+                       DetourMode mode = DetourMode::kAlongPath);
+
+  /// Shares a precomputed matrix across shops (the multi-shop / shop-siting
+  /// use case). `matrix` must outlive the calculator and match `net`.
+  ApspDetourCalculator(const graph::RoadNetwork& net,
+                       const graph::DistanceMatrix& matrix, graph::NodeId shop,
+                       DetourMode mode = DetourMode::kAlongPath);
+
+  [[nodiscard]] graph::NodeId shop() const noexcept { return shop_; }
+
+  [[nodiscard]] std::vector<double> detours_along_path(
+      const TrafficFlow& flow) const override;
+
+ private:
+  const graph::RoadNetwork* net_;
+  std::unique_ptr<graph::DistanceMatrix> owned_matrix_;
+  const graph::DistanceMatrix* matrix_;
+  graph::NodeId shop_;
+  DetourMode mode_;
+};
+
+}  // namespace rap::traffic

@@ -1,0 +1,72 @@
+#include "src/traffic/detour.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/path.h"
+
+namespace rap::traffic {
+
+DetourCalculator::DetourCalculator(const graph::RoadNetwork& net,
+                                   graph::NodeId shop, DetourMode mode)
+    : net_(&net),
+      shop_(shop),
+      mode_(mode),
+      to_shop_(graph::dijkstra(net, shop, graph::Direction::kReverse)),
+      from_shop_(graph::dijkstra(net, shop, graph::Direction::kForward)) {}
+
+double DetourCalculator::distance_to_shop(graph::NodeId node) const {
+  return to_shop_.distance(node);
+}
+
+double DetourCalculator::distance_from_shop(graph::NodeId node) const {
+  return from_shop_.distance(node);
+}
+
+const graph::ShortestPathTree& DetourCalculator::tree_to_destination(
+    graph::NodeId destination) const {
+  const auto it = to_destination_.find(destination);
+  if (it != to_destination_.end()) return it->second;
+  return to_destination_
+      .emplace(destination,
+               graph::dijkstra(*net_, destination, graph::Direction::kReverse))
+      .first->second;
+}
+
+std::vector<double> DetourCalculator::detours_along_path(
+    const TrafficFlow& flow) const {
+  validate_flow(*net_, flow);
+  const double d2 = from_shop_.distance(flow.destination);  // d''
+  std::vector<double> out(flow.path.size(), graph::kUnreachable);
+  if (d2 == graph::kUnreachable) return out;
+
+  std::vector<double> direct(flow.path.size());  // d''' per position
+  if (mode_ == DetourMode::kAlongPath) {
+    const std::vector<double> cum = graph::cumulative_lengths(*net_, flow.path);
+    for (std::size_t i = 0; i < flow.path.size(); ++i) {
+      direct[i] = cum.back() - cum[i];
+    }
+  } else {
+    const graph::ShortestPathTree& tree = tree_to_destination(flow.destination);
+    for (std::size_t i = 0; i < flow.path.size(); ++i) {
+      direct[i] = tree.distance(flow.path[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < flow.path.size(); ++i) {
+    const double d1 = to_shop_.distance(flow.path[i]);  // d'
+    if (d1 == graph::kUnreachable || direct[i] == graph::kUnreachable) continue;
+    out[i] = std::max(0.0, d1 + d2 - direct[i]);
+  }
+  return out;
+}
+
+double DetourCalculator::detour_at(const TrafficFlow& flow,
+                                   std::size_t path_index) const {
+  if (path_index >= flow.path.size()) {
+    throw std::out_of_range("DetourCalculator::detour_at: bad path index");
+  }
+  return detours_along_path(flow)[path_index];
+}
+
+}  // namespace rap::traffic

@@ -1,0 +1,79 @@
+#include "src/traffic/flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/graph/dijkstra.h"
+#include "src/graph/path.h"
+
+namespace rap::traffic {
+
+void validate_flow(const graph::RoadNetwork& net, const TrafficFlow& flow) {
+  if (flow.path.empty()) {
+    throw std::invalid_argument("validate_flow: empty path");
+  }
+  if (flow.path.front() != flow.origin ||
+      flow.path.back() != flow.destination) {
+    throw std::invalid_argument(
+        "validate_flow: path endpoints disagree with origin/destination");
+  }
+  if (!graph::is_walk(net, flow.path)) {
+    throw std::invalid_argument("validate_flow: path is not a walk on the network");
+  }
+  if (!(flow.daily_vehicles >= 0.0) || !std::isfinite(flow.daily_vehicles)) {
+    throw std::invalid_argument("validate_flow: daily_vehicles must be finite and >= 0");
+  }
+  if (!(flow.passengers_per_vehicle > 0.0) ||
+      !std::isfinite(flow.passengers_per_vehicle)) {
+    throw std::invalid_argument(
+        "validate_flow: passengers_per_vehicle must be finite and > 0");
+  }
+  if (flow.alpha < 0.0 || flow.alpha > 1.0) {
+    throw std::invalid_argument("validate_flow: alpha must be in [0, 1]");
+  }
+}
+
+TrafficFlow make_shortest_path_flow(const graph::RoadNetwork& net,
+                                    graph::NodeId origin,
+                                    graph::NodeId destination,
+                                    double daily_vehicles,
+                                    double passengers_per_vehicle,
+                                    double alpha) {
+  auto path = graph::shortest_path(net, origin, destination);
+  if (!path) {
+    throw std::invalid_argument(
+        "make_shortest_path_flow: destination unreachable");
+  }
+  TrafficFlow flow;
+  flow.origin = origin;
+  flow.destination = destination;
+  flow.path = std::move(*path);
+  flow.daily_vehicles = daily_vehicles;
+  flow.passengers_per_vehicle = passengers_per_vehicle;
+  flow.alpha = alpha;
+  validate_flow(net, flow);
+  return flow;
+}
+
+std::vector<TrafficFlow> perturb_demand(const std::vector<TrafficFlow>& flows,
+                                        double volume_cv, util::Rng& rng) {
+  if (volume_cv < 0.0) {
+    throw std::invalid_argument("perturb_demand: volume_cv must be >= 0");
+  }
+  std::vector<TrafficFlow> out = flows;
+  for (TrafficFlow& flow : out) {
+    const double factor =
+        std::max(0.0, 1.0 + rng.next_gaussian(0.0, volume_cv));
+    flow.daily_vehicles *= factor;
+  }
+  return out;
+}
+
+double total_population(const std::vector<TrafficFlow>& flows) noexcept {
+  double total = 0.0;
+  for (const TrafficFlow& flow : flows) total += flow.population();
+  return total;
+}
+
+}  // namespace rap::traffic

@@ -1,0 +1,60 @@
+// Traffic flows: the paper's T(i,j) — a daily volume of vehicles travelling
+// a fixed path from intersection i to intersection j (e.g. commuters
+// returning home from the office). Flows carry the advertisement
+// attractiveness alpha(T(i,j)) and a passengers-per-vehicle factor so bus
+// traces (100 passengers/bus in Dublin, 200 in Seattle) map onto customer
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace rap::traffic {
+
+using FlowIndex = std::uint32_t;
+
+struct TrafficFlow {
+  graph::NodeId origin = graph::kInvalidNode;
+  graph::NodeId destination = graph::kInvalidNode;
+  /// Travel path in order, path.front() == origin, path.back() == destination.
+  std::vector<graph::NodeId> path;
+  /// Daily vehicle count on this flow.
+  double daily_vehicles = 0.0;
+  /// Potential customers per vehicle (bus passengers; 1 for private cars).
+  double passengers_per_vehicle = 1.0;
+  /// Advertisement attractiveness alpha(T(i,j)) — the detour probability at
+  /// zero detour distance.
+  double alpha = 1.0;
+
+  /// Potential customers per day travelling this flow.
+  [[nodiscard]] double population() const noexcept {
+    return daily_vehicles * passengers_per_vehicle;
+  }
+};
+
+/// Throws std::invalid_argument unless the flow is well-formed on `net`:
+/// non-empty walk from origin to destination, positive volumes, alpha in
+/// [0, 1].
+void validate_flow(const graph::RoadNetwork& net, const TrafficFlow& flow);
+
+/// Builds a flow travelling a shortest path from `origin` to `destination`.
+/// Throws if the destination is unreachable.
+[[nodiscard]] TrafficFlow make_shortest_path_flow(const graph::RoadNetwork& net,
+                                                  graph::NodeId origin,
+                                                  graph::NodeId destination,
+                                                  double daily_vehicles,
+                                                  double passengers_per_vehicle = 1.0,
+                                                  double alpha = 1.0);
+
+/// Total potential customers across all flows.
+[[nodiscard]] double total_population(const std::vector<TrafficFlow>& flows) noexcept;
+
+/// Demand-perturbed copy of the flows: paths untouched, volumes rescaled by
+/// max(0, 1 + volume_cv * N(0,1)) per flow. Throws when volume_cv < 0.
+[[nodiscard]] std::vector<TrafficFlow> perturb_demand(
+    const std::vector<TrafficFlow>& flows, double volume_cv, util::Rng& rng);
+
+}  // namespace rap::traffic

@@ -1,0 +1,64 @@
+#include "src/traffic/utility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rap::traffic {
+namespace {
+
+double checked_range(double range) {
+  if (!(range > 0.0) || !std::isfinite(range)) {
+    throw std::invalid_argument("UtilityFunction: range D must be finite and > 0");
+  }
+  return range;
+}
+
+}  // namespace
+
+void check_utility_args(double detour, double alpha) {
+  // Infinite detour is legal (unreachable shop) and maps to probability 0;
+  // NaN is not.
+  if (std::isnan(detour) || detour < 0.0) {
+    throw std::invalid_argument("UtilityFunction: detour must be >= 0");
+  }
+  if (!(alpha >= 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("UtilityFunction: alpha must be in [0, 1]");
+  }
+}
+
+ThresholdUtility::ThresholdUtility(double range) : range_(checked_range(range)) {}
+
+double ThresholdUtility::probability(double detour, double alpha) const {
+  check_utility_args(detour, alpha);
+  return detour <= range_ ? alpha : 0.0;
+}
+
+LinearUtility::LinearUtility(double range) : range_(checked_range(range)) {}
+
+double LinearUtility::probability(double detour, double alpha) const {
+  check_utility_args(detour, alpha);
+  if (detour > range_) return 0.0;
+  return alpha * (1.0 - detour / range_);
+}
+
+SqrtUtility::SqrtUtility(double range) : range_(checked_range(range)) {}
+
+double SqrtUtility::probability(double detour, double alpha) const {
+  check_utility_args(detour, alpha);
+  if (detour > range_) return 0.0;
+  return alpha * (1.0 - std::sqrt(detour / range_));
+}
+
+std::unique_ptr<UtilityFunction> make_utility(UtilityKind kind, double range) {
+  switch (kind) {
+    case UtilityKind::kThreshold:
+      return std::make_unique<ThresholdUtility>(range);
+    case UtilityKind::kLinear:
+      return std::make_unique<LinearUtility>(range);
+    case UtilityKind::kSqrt:
+      return std::make_unique<SqrtUtility>(range);
+  }
+  throw std::invalid_argument("make_utility: unknown kind");
+}
+
+}  // namespace rap::traffic

@@ -1,0 +1,82 @@
+// Utility functions modelling the driver's detour probability f(d).
+//
+// The paper uses three (Eqs. 1, 2, 11):
+//   threshold:     f(d) = alpha                      if d <= D, else 0
+//   linear (i):    f(d) = alpha * (1 - d/D)          if d <= D, else 0
+//   sqrt (ii):     f(d) = alpha * (1 - sqrt(d/D))    if d <= D, else 0
+// All are non-increasing in d, equal alpha at d = 0, and 0 beyond D.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace rap::traffic {
+
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Detour probability for a driver with attractiveness `alpha` facing
+  /// detour distance `detour`. Requires detour >= 0 and alpha in [0, 1];
+  /// implementations throw std::invalid_argument otherwise. Infinite detour
+  /// (unreachable shop) yields 0.
+  [[nodiscard]] virtual double probability(double detour, double alpha) const = 0;
+
+  /// The threshold D: probability is exactly 0 for any detour > range().
+  [[nodiscard]] virtual double range() const noexcept = 0;
+
+  /// Human-readable name used in reports ("threshold", "linear", "sqrt").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  UtilityFunction() = default;
+  UtilityFunction(const UtilityFunction&) = default;
+  UtilityFunction& operator=(const UtilityFunction&) = default;
+};
+
+/// Eq. 1 — constant alpha up to D, then 0.
+class ThresholdUtility final : public UtilityFunction {
+ public:
+  explicit ThresholdUtility(double range);
+  [[nodiscard]] double probability(double detour, double alpha) const override;
+  [[nodiscard]] double range() const noexcept override { return range_; }
+  [[nodiscard]] std::string name() const override { return "threshold"; }
+
+ private:
+  double range_;
+};
+
+/// Eq. 2 — decays linearly from alpha at d=0 to 0 at d=D.
+class LinearUtility final : public UtilityFunction {
+ public:
+  explicit LinearUtility(double range);
+  [[nodiscard]] double probability(double detour, double alpha) const override;
+  [[nodiscard]] double range() const noexcept override { return range_; }
+  [[nodiscard]] std::string name() const override { return "linear"; }
+
+ private:
+  double range_;
+};
+
+/// Eq. 11 — decays as 1 - sqrt(d/D): faster than linear everywhere.
+class SqrtUtility final : public UtilityFunction {
+ public:
+  explicit SqrtUtility(double range);
+  [[nodiscard]] double probability(double detour, double alpha) const override;
+  [[nodiscard]] double range() const noexcept override { return range_; }
+  [[nodiscard]] std::string name() const override { return "sqrt"; }
+
+ private:
+  double range_;
+};
+
+enum class UtilityKind { kThreshold, kLinear, kSqrt };
+
+/// Factory matching the paper's three evaluation utilities.
+[[nodiscard]] std::unique_ptr<UtilityFunction> make_utility(UtilityKind kind,
+                                                            double range);
+
+/// Validation shared by all implementations; throws std::invalid_argument.
+void check_utility_args(double detour, double alpha);
+
+}  // namespace rap::traffic

@@ -1,0 +1,44 @@
+// Minimal RFC-4180-style CSV writing and parsing, used by the benchmark
+// harnesses to persist figure series next to the printed tables.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rap::util {
+
+/// Quotes a single CSV field if it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
+/// Streams rows of string fields as CSV. The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void write_row(std::span<const std::string> fields);
+  void write_row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: header then repeated numeric rows with a leading label.
+  void write_numeric_row(std::string_view label, std::span<const double> values,
+                         int precision = 6);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Parses CSV text into rows of fields. Handles quoted fields, embedded
+/// commas/quotes/newlines, and both \n and \r\n terminators. Throws
+/// std::invalid_argument on an unterminated quoted field.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    std::string_view text);
+
+/// Writes rows to a file, creating parent directories. Throws on I/O error.
+void write_csv_file(const std::filesystem::path& path,
+                    std::span<const std::vector<std::string>> rows);
+
+}  // namespace rap::util

@@ -1,0 +1,63 @@
+#include "src/util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rap::util {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  if (decimals < 0 || decimals > 17) {
+    throw std::invalid_argument("format_fixed: decimals out of range");
+  }
+  char buffer[64];
+  const int written =
+      std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  if (written < 0 || written >= static_cast<int>(sizeof(buffer))) {
+    throw std::runtime_error("format_fixed: formatting failed");
+  }
+  return std::string(buffer, static_cast<std::size_t>(written));
+}
+
+std::string pad(std::string_view text, int width) {
+  const std::size_t target =
+      static_cast<std::size_t>(width < 0 ? -width : width);
+  if (text.size() >= target) return std::string(text);
+  const std::string spaces(target - text.size(), ' ');
+  return width < 0 ? std::string(text) + spaces : spaces + std::string(text);
+}
+
+}  // namespace rap::util

@@ -1,0 +1,34 @@
+// String helpers shared by the CLI parser and the report formatter.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rap::util {
+
+/// Splits on a delimiter; adjacent delimiters yield empty fields.
+/// split("a,,b", ',') -> {"a", "", "b"}; split("", ',') -> {""}.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Trims ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Joins parts with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view separator);
+
+/// Formats a double with a fixed number of decimals (locale-independent).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Left-pads (positive width) or right-pads (negative width) with spaces.
+[[nodiscard]] std::string pad(std::string_view text, int width);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] constexpr bool starts_with(std::string_view text,
+                                         std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace rap::util

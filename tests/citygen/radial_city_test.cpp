@@ -1,0 +1,126 @@
+#include "src/citygen/radial_city.h"
+
+#include <gtest/gtest.h>
+
+#include "src/geo/bbox.h"
+
+namespace rap::citygen {
+namespace {
+
+RadialSpec default_spec() {
+  RadialSpec spec;
+  spec.rings = 6;
+  spec.nodes_on_first_ring = 6;
+  spec.nodes_per_ring_step = 4;
+  spec.ring_spacing = 1000.0;
+  return spec;
+}
+
+TEST(RadialCity, ExpectedScale) {
+  util::Rng rng(1);
+  const auto net = build_radial_city(default_spec(), rng);
+  // 1 centre + sum_{r=1..6} (6 + 4(r-1)) = 1 + 96 nodes before SCC pruning.
+  EXPECT_GT(net.num_nodes(), 80u);
+  EXPECT_LE(net.num_nodes(), 97u);
+  EXPECT_GT(net.num_edges(), net.num_nodes());
+}
+
+TEST(RadialCity, IsStronglyConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(seed);
+    const auto net = build_radial_city(default_spec(), rng);
+    EXPECT_TRUE(net.is_strongly_connected()) << "seed " << seed;
+  }
+}
+
+TEST(RadialCity, StaysWithinExpectedRadius) {
+  RadialSpec spec = default_spec();
+  spec.angular_jitter = 0.0;
+  spec.radial_jitter = 0.0;
+  util::Rng rng(3);
+  const auto net = build_radial_city(spec, rng);
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_LE(euclidean_distance(net.position(v), spec.center),
+              static_cast<double>(spec.rings) * spec.ring_spacing * 1.01);
+  }
+}
+
+TEST(RadialCity, CenterOffsetRespected) {
+  RadialSpec spec = default_spec();
+  spec.center = {5000.0, -3000.0};
+  util::Rng rng(4);
+  const auto net = build_radial_city(spec, rng);
+  const geo::BBox box = net.bounds();
+  EXPECT_TRUE(box.contains(spec.center));
+}
+
+TEST(RadialCity, DeterministicForSameSeed) {
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  const auto a = build_radial_city(default_spec(), rng1);
+  const auto b = build_radial_city(default_spec(), rng2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.position(v), b.position(v));
+  }
+}
+
+TEST(RadialCity, OnewayFractionReducesEdges) {
+  RadialSpec with = default_spec();
+  with.oneway_prob = 0.6;
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const auto plain = build_radial_city(default_spec(), rng1);
+  const auto oneway = build_radial_city(with, rng2);
+  EXPECT_LT(oneway.num_edges(), plain.num_edges());
+}
+
+TEST(RadialCity, ChordsAddEdges) {
+  RadialSpec none = default_spec();
+  none.chord_prob = 0.0;
+  RadialSpec many = default_spec();
+  many.chord_prob = 0.5;
+  util::Rng rng1(6);
+  util::Rng rng2(6);
+  const auto sparse = build_radial_city(none, rng1);
+  const auto dense = build_radial_city(many, rng2);
+  EXPECT_GT(dense.num_edges(), sparse.num_edges());
+}
+
+TEST(RadialCity, RejectsInvalidSpecs) {
+  util::Rng rng(1);
+  RadialSpec bad = default_spec();
+  bad.rings = 0;
+  EXPECT_THROW(build_radial_city(bad, rng), std::invalid_argument);
+  bad = default_spec();
+  bad.nodes_on_first_ring = 2;
+  EXPECT_THROW(build_radial_city(bad, rng), std::invalid_argument);
+  bad = default_spec();
+  bad.ring_spacing = 0.0;
+  EXPECT_THROW(build_radial_city(bad, rng), std::invalid_argument);
+  bad = default_spec();
+  bad.chord_prob = 1.0;
+  EXPECT_THROW(build_radial_city(bad, rng), std::invalid_argument);
+  bad = default_spec();
+  bad.angular_jitter = -0.1;
+  EXPECT_THROW(build_radial_city(bad, rng), std::invalid_argument);
+}
+
+TEST(RadialCity, NotAGrid) {
+  // Sanity: the city should not be axis-aligned — edges at many angles.
+  util::Rng rng(8);
+  const auto net = build_radial_city(default_spec(), rng);
+  std::size_t diagonal_edges = 0;
+  for (const graph::Edge& e : net.edges()) {
+    const geo::Point a = net.position(e.from);
+    const geo::Point b = net.position(e.to);
+    if (std::abs(a.x - b.x) > 1.0 && std::abs(a.y - b.y) > 1.0) {
+      ++diagonal_edges;
+    }
+  }
+  EXPECT_GT(diagonal_edges, net.num_edges() / 2);
+}
+
+}  // namespace
+}  // namespace rap::citygen

@@ -1,0 +1,72 @@
+#include "src/core/coverage_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/greedy.h"
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+using testing::Fig4;
+
+TEST(CoverageAdapter, Fig4InstanceShape) {
+  Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  const cover::CoverageInstance instance = to_coverage_instance(problem);
+  EXPECT_EQ(instance.num_elements(), 4u);  // four flows
+  EXPECT_EQ(instance.num_sets(), 6u);      // six intersections
+  // Element weights = alpha * population = vehicle counts here.
+  EXPECT_DOUBLE_EQ(instance.weight(0), 6.0);
+  EXPECT_DOUBLE_EQ(instance.weight(1), 3.0);
+  EXPECT_DOUBLE_EQ(instance.weight(3), 2.0);
+  // V3 covers flows 0, 1, 2; V6 covers nothing (detour 8 > D).
+  EXPECT_EQ(instance.set(Fig4::V3).size(), 3u);
+  EXPECT_TRUE(instance.set(Fig4::V6).empty());
+  EXPECT_TRUE(instance.set(Fig4::V1).empty());
+}
+
+TEST(CoverageAdapter, RejectsDecreasingUtilities) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(Fig4::threshold);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  EXPECT_THROW(to_coverage_instance(problem), std::invalid_argument);
+}
+
+TEST(CoverageAdapter, ReductionGreedyMatchesAlgorithm1) {
+  // Section III-B's equivalence, executed: the generic coverage greedy and
+  // Algorithm 1 select the same intersections and value.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng rng(seed * 11 + 3);
+    const auto net = testing::random_network(4, 4, 5, rng);
+    const auto flows = testing::random_flows(net, 15, rng);
+    const traffic::ThresholdUtility utility(6.0);
+    const PlacementProblem problem(
+        net, flows, static_cast<graph::NodeId>(rng.next_below(net.num_nodes())),
+        utility);
+    for (const std::size_t k : {1u, 3u, 5u}) {
+      const PlacementResult direct = greedy_coverage_placement(problem, k);
+      const PlacementResult reduced = coverage_greedy_via_reduction(problem, k);
+      EXPECT_EQ(direct.nodes, reduced.nodes) << "seed " << seed << " k=" << k;
+      EXPECT_DOUBLE_EQ(direct.customers, reduced.customers);
+    }
+  }
+}
+
+TEST(CoverageAdapter, PerFlowAlphaVariationIsFine) {
+  // Different alphas across flows are fine (weights differ per element);
+  // only per-node variation within one flow breaks the reduction.
+  const auto net = testing::line_network(5);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.push_back(traffic::make_shortest_path_flow(net, 0, 2, 10.0, 1.0, 0.5));
+  flows.push_back(traffic::make_shortest_path_flow(net, 2, 4, 10.0, 1.0, 0.9));
+  const traffic::ThresholdUtility utility(100.0);
+  const PlacementProblem problem(net, flows, 1, utility);
+  const cover::CoverageInstance instance = to_coverage_instance(problem);
+  EXPECT_DOUBLE_EQ(instance.weight(0), 5.0);
+  EXPECT_DOUBLE_EQ(instance.weight(1), 9.0);
+}
+
+}  // namespace
+}  // namespace rap::core

@@ -1,0 +1,165 @@
+#include "src/core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+using testing::Fig4;
+
+class EvaluatorFig4 : public ::testing::Test {
+ protected:
+  EvaluatorFig4()
+      : threshold_(Fig4::threshold),
+        linear_(Fig4::threshold),
+        threshold_problem_(fig_.net, fig_.flows, Fig4::shop, threshold_),
+        linear_problem_(fig_.net, fig_.flows, Fig4::shop, linear_) {}
+
+  Fig4 fig_;
+  traffic::ThresholdUtility threshold_;
+  traffic::LinearUtility linear_;
+  PlacementProblem threshold_problem_;
+  PlacementProblem linear_problem_;
+};
+
+TEST_F(EvaluatorFig4, EmptyPlacementIsZero) {
+  const PlacementState state(linear_problem_);
+  EXPECT_DOUBLE_EQ(state.value(), 0.0);
+  EXPECT_TRUE(state.placement().empty());
+}
+
+TEST_F(EvaluatorFig4, SingletonGainsThreshold) {
+  const PlacementState state(threshold_problem_);
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V3), 15.0);  // 6 + 3 + 6
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V5), 11.0);  // 6 + 3 + 2
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V2), 6.0);
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V6), 0.0);  // detour 8 > D
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V1), 0.0);  // no flows
+}
+
+TEST_F(EvaluatorFig4, SingletonGainsLinear) {
+  const PlacementState state(linear_problem_);
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V3), 5.0);        // 15 * (1/3)
+  EXPECT_NEAR(state.uncovered_gain(Fig4::V2), 4.0, 1e-12);      // 6 * (2/3)
+  EXPECT_NEAR(state.uncovered_gain(Fig4::V4), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V5), 0.0);        // all detour 6
+}
+
+TEST_F(EvaluatorFig4, PaperPlacementValues) {
+  // Section III-C: {V3, V5} attracts 5 customers under the linear utility;
+  // {V2, V4} attracts 8.
+  const Placement v3v5{Fig4::V3, Fig4::V5};
+  const Placement v2v4{Fig4::V2, Fig4::V4};
+  EXPECT_NEAR(evaluate_placement(linear_problem_, v3v5), 5.0, 1e-12);
+  EXPECT_NEAR(evaluate_placement(linear_problem_, v2v4), 8.0, 1e-12);
+  // Threshold: {V3, V5} covers all four flows.
+  EXPECT_DOUBLE_EQ(evaluate_placement(threshold_problem_, v3v5), 17.0);
+}
+
+TEST_F(EvaluatorFig4, ImprovementGainTracksOverlap) {
+  PlacementState state(linear_problem_);
+  state.add(Fig4::V3);
+  EXPECT_DOUBLE_EQ(state.value(), 5.0);
+  // V2 improves T(2,5) from probability 1/3 to 2/3: +2 customers.
+  EXPECT_NEAR(state.improvement_gain(Fig4::V2), 2.0, 1e-12);
+  EXPECT_NEAR(state.improvement_gain(Fig4::V4), 2.0, 1e-12);
+  // V5 offers larger detours: no improvement.
+  EXPECT_DOUBLE_EQ(state.improvement_gain(Fig4::V5), 0.0);
+  // T(5,6) stays uncovered; V5's uncovered gain is 0 (probability 0 at 6).
+  EXPECT_DOUBLE_EQ(state.uncovered_gain(Fig4::V5), 0.0);
+}
+
+TEST_F(EvaluatorFig4, GainDecompositionAddsUp) {
+  PlacementState state(linear_problem_);
+  state.add(Fig4::V3);
+  for (graph::NodeId v = 0; v < 6; ++v) {
+    EXPECT_NEAR(state.gain_if_added(v),
+                state.uncovered_gain(v) + state.improvement_gain(v), 1e-12);
+  }
+}
+
+TEST_F(EvaluatorFig4, AddIsIdempotent) {
+  PlacementState state(linear_problem_);
+  state.add(Fig4::V3);
+  const double value = state.value();
+  state.add(Fig4::V3);
+  EXPECT_DOUBLE_EQ(state.value(), value);
+  EXPECT_EQ(state.placement().size(), 1u);
+}
+
+TEST_F(EvaluatorFig4, GainMatchesValueDelta) {
+  PlacementState state(linear_problem_);
+  for (const graph::NodeId v : {Fig4::V3, Fig4::V2, Fig4::V5, Fig4::V4}) {
+    const double predicted = state.gain_if_added(v);
+    const double before = state.value();
+    state.add(v);
+    EXPECT_NEAR(state.value() - before, predicted, 1e-12);
+  }
+}
+
+TEST_F(EvaluatorFig4, BestDetoursTracked) {
+  PlacementState state(linear_problem_);
+  state.add(Fig4::V5);
+  EXPECT_DOUBLE_EQ(state.best_detours()[0], 6.0);  // T(2,5) via V5
+  state.add(Fig4::V3);
+  EXPECT_DOUBLE_EQ(state.best_detours()[0], 4.0);  // improved via V3
+  EXPECT_EQ(state.best_detours()[3], 6.0);         // T(5,6) via V5
+}
+
+TEST_F(EvaluatorFig4, ContainsAndValidation) {
+  PlacementState state(linear_problem_);
+  EXPECT_FALSE(state.contains(Fig4::V3));
+  state.add(Fig4::V3);
+  EXPECT_TRUE(state.contains(Fig4::V3));
+  EXPECT_THROW(state.add(99), std::out_of_range);
+  EXPECT_THROW(state.contains(99), std::out_of_range);
+}
+
+TEST_F(EvaluatorFig4, EvaluateToleratesDuplicates) {
+  const Placement dup{Fig4::V3, Fig4::V3, Fig4::V5};
+  EXPECT_DOUBLE_EQ(evaluate_placement(threshold_problem_, dup), 17.0);
+}
+
+// Monotonicity: adding RAPs never decreases the value (order-independent).
+class EvaluatorMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluatorMonotone, ValueNonDecreasingUnderAdds) {
+  util::Rng rng(GetParam() + 40);
+  const auto net = testing::random_network(4, 4, 5, rng);
+  const auto flows = testing::random_flows(net, 12, rng);
+  const traffic::LinearUtility utility(6.0);
+  const PlacementProblem problem(net, flows, 3, utility);
+  PlacementState state(problem);
+  double prev = 0.0;
+  std::vector<graph::NodeId> nodes(net.num_nodes());
+  for (graph::NodeId v = 0; v < nodes.size(); ++v) nodes[v] = v;
+  rng.shuffle(nodes);
+  for (const graph::NodeId v : nodes) {
+    state.add(v);
+    EXPECT_GE(state.value(), prev - 1e-12);
+    prev = state.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, EvaluatorMonotone,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// Order independence: final value is the same for any insertion order.
+TEST(Evaluator, OrderIndependentFinalValue) {
+  util::Rng rng(99);
+  const auto net = testing::random_network(4, 4, 4, rng);
+  const auto flows = testing::random_flows(net, 10, rng);
+  const traffic::LinearUtility utility(5.0);
+  const PlacementProblem problem(net, flows, 0, utility);
+  Placement nodes{1, 5, 9, 13};
+  const double reference = evaluate_placement(problem, nodes);
+  for (int trial = 0; trial < 10; ++trial) {
+    rng.shuffle(nodes);
+    EXPECT_NEAR(evaluate_placement(problem, nodes), reference, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace rap::core

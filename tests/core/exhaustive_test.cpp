@@ -1,0 +1,115 @@
+#include "src/core/exhaustive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/evaluator.h"
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+using testing::Fig4;
+
+TEST(Exhaustive, RejectsZeroK) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  EXPECT_THROW(exhaustive_optimal_placement(problem, 0), std::invalid_argument);
+}
+
+TEST(Exhaustive, MatchesBruteForceOnFig4) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  // Brute force over every pair of nodes.
+  double best = 0.0;
+  for (graph::NodeId a = 0; a < 6; ++a) {
+    for (graph::NodeId b = a + 1; b < 6; ++b) {
+      const Placement pair{a, b};
+      best = std::max(best, evaluate_placement(problem, pair));
+    }
+  }
+  EXPECT_NEAR(exhaustive_optimal_placement(problem, 2).customers, best, 1e-12);
+}
+
+TEST(Exhaustive, HandlesKLargerThanUsefulCandidates) {
+  const auto net = testing::line_network(4);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.push_back(traffic::make_shortest_path_flow(net, 0, 1, 5.0));
+  const traffic::ThresholdUtility utility(100.0);
+  const PlacementProblem problem(net, flows, 2, utility);
+  const PlacementResult result = exhaustive_optimal_placement(problem, 10);
+  EXPECT_DOUBLE_EQ(result.customers, 5.0);
+  EXPECT_LE(result.nodes.size(), 2u);  // only nodes 0, 1 are useful
+}
+
+TEST(Exhaustive, EmptyWhenNothingUseful) {
+  const auto net = testing::line_network(4);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.push_back(traffic::make_shortest_path_flow(net, 2, 3, 5.0));
+  const traffic::ThresholdUtility utility(1e-9);  // covers nothing off-route
+  // Shop at 0: flow 2->3 has detour 4 at node 2 — far beyond D.
+  const PlacementProblem problem(net, flows, 0, utility);
+  const PlacementResult result = exhaustive_optimal_placement(problem, 2);
+  EXPECT_TRUE(result.nodes.empty());
+  EXPECT_DOUBLE_EQ(result.customers, 0.0);
+}
+
+TEST(Exhaustive, CombinationBudgetEnforced) {
+  util::Rng rng(3);
+  const auto net = testing::random_network(5, 5, 5, rng);
+  const auto flows = testing::random_flows(net, 20, rng);
+  const traffic::LinearUtility utility(8.0);
+  const PlacementProblem problem(net, flows, 0, utility);
+  ExhaustiveOptions tiny;
+  tiny.max_combinations = 2;
+  EXPECT_THROW(exhaustive_optimal_placement(problem, 3, tiny),
+               std::runtime_error);
+}
+
+TEST(Exhaustive, CombinationCountReasonable) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  // Useful candidates on Fig 4 linear: V2, V3, V4 (others gain 0): C(3,2)=3.
+  EXPECT_EQ(exhaustive_combination_count(problem, 2), 3u);
+}
+
+TEST(Exhaustive, DominatesGreedyEverywhere) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    util::Rng rng(seed + 11);
+    const auto net = testing::random_network(3, 4, 3, rng);
+    const auto flows = testing::random_flows(net, 8, rng);
+    const traffic::LinearUtility utility(5.0);
+    const PlacementProblem problem(net, flows, 0, utility);
+    const double opt = exhaustive_optimal_placement(problem, 3).customers;
+    // Optimum dominates any specific placement.
+    for (int trial = 0; trial < 10; ++trial) {
+      Placement random_nodes;
+      for (int i = 0; i < 3; ++i) {
+        random_nodes.push_back(
+            static_cast<graph::NodeId>(rng.next_below(net.num_nodes())));
+      }
+      EXPECT_GE(opt + 1e-9, evaluate_placement(problem, random_nodes));
+    }
+  }
+}
+
+TEST(Exhaustive, MonotoneInK) {
+  util::Rng rng(31);
+  const auto net = testing::random_network(3, 3, 3, rng);
+  const auto flows = testing::random_flows(net, 8, rng);
+  const traffic::LinearUtility utility(4.0);
+  const PlacementProblem problem(net, flows, 4, utility);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const double value = exhaustive_optimal_placement(problem, k).customers;
+    EXPECT_GE(value, prev - 1e-12);
+    prev = value;
+  }
+}
+
+}  // namespace
+}  // namespace rap::core

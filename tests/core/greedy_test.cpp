@@ -1,0 +1,128 @@
+#include "src/core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/evaluator.h"
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+using testing::Fig4;
+
+TEST(GreedyCoverage, RejectsZeroK) {
+  Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  EXPECT_THROW(greedy_coverage_placement(problem, 0), std::invalid_argument);
+}
+
+TEST(GreedyCoverage, KOnePicksBestSingleton) {
+  Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  const PlacementResult result = greedy_coverage_placement(problem, 1);
+  EXPECT_EQ(result.nodes, Placement{Fig4::V3});
+  EXPECT_DOUBLE_EQ(result.customers, 15.0);
+}
+
+TEST(GreedyCoverage, PlaceAllKWhenRequested) {
+  Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  GreedyOptions options;
+  options.stop_when_no_gain = false;
+  const PlacementResult result = greedy_coverage_placement(problem, 5, options);
+  EXPECT_EQ(result.nodes.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.customers, 17.0);  // padding adds nothing
+}
+
+TEST(GreedyCoverage, NeverPlacesMoreThanNodes) {
+  Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  GreedyOptions options;
+  options.stop_when_no_gain = false;
+  const PlacementResult result = greedy_coverage_placement(problem, 100, options);
+  EXPECT_LE(result.nodes.size(), fig.net.num_nodes());
+}
+
+TEST(GreedyCoverage, ValueMatchesEvaluator) {
+  util::Rng rng(5);
+  const auto net = testing::random_network(5, 5, 6, rng);
+  const auto flows = testing::random_flows(net, 20, rng);
+  const traffic::ThresholdUtility utility(8.0);
+  const PlacementProblem problem(net, flows, 12, utility);
+  const PlacementResult result = greedy_coverage_placement(problem, 4);
+  EXPECT_NEAR(result.customers, evaluate_placement(problem, result.nodes), 1e-9);
+}
+
+TEST(GreedyCoverage, ValueMonotoneInK) {
+  util::Rng rng(7);
+  const auto net = testing::random_network(5, 5, 6, rng);
+  const auto flows = testing::random_flows(net, 20, rng);
+  const traffic::ThresholdUtility utility(8.0);
+  const PlacementProblem problem(net, flows, 12, utility);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double value = greedy_coverage_placement(problem, k).customers;
+    EXPECT_GE(value, prev - 1e-12);
+    prev = value;
+  }
+}
+
+TEST(GreedyCoverage, PlacementsAreNested) {
+  // Greedy placements are prefixes of each other across k.
+  util::Rng rng(9);
+  const auto net = testing::random_network(5, 5, 6, rng);
+  const auto flows = testing::random_flows(net, 20, rng);
+  const traffic::ThresholdUtility utility(8.0);
+  const PlacementProblem problem(net, flows, 12, utility);
+  const Placement big = greedy_coverage_placement(problem, 6).nodes;
+  for (std::size_t k = 1; k < big.size(); ++k) {
+    const Placement small = greedy_coverage_placement(problem, k).nodes;
+    ASSERT_EQ(small.size(), k);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(small[i], big[i]);
+  }
+}
+
+TEST(GreedyCoverage, NoDuplicateNodes) {
+  util::Rng rng(11);
+  const auto net = testing::random_network(4, 4, 5, rng);
+  const auto flows = testing::random_flows(net, 15, rng);
+  const traffic::ThresholdUtility utility(6.0);
+  const PlacementProblem problem(net, flows, 0, utility);
+  const Placement nodes = greedy_coverage_placement(problem, 8).nodes;
+  Placement sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(GreedyCoverage, CoversDisjointFlowsOnLine) {
+  // Two disjoint flows on a line: greedy must cover both with k = 2.
+  const auto net = testing::line_network(8);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.push_back(traffic::make_shortest_path_flow(net, 0, 2, 10.0));
+  flows.push_back(traffic::make_shortest_path_flow(net, 5, 7, 4.0));
+  const traffic::ThresholdUtility utility(100.0);
+  const PlacementProblem problem(net, flows, 3, utility);
+  const PlacementResult result = greedy_coverage_placement(problem, 2);
+  EXPECT_DOUBLE_EQ(result.customers, 14.0);
+}
+
+TEST(GreedyCoverage, ZeroRangeUtilityCoversOnlyOnRouteFlows) {
+  // Tiny D: only flows passing the shop itself (detour 0) can be covered.
+  const auto net = testing::line_network(6);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.push_back(traffic::make_shortest_path_flow(net, 0, 4, 5.0));  // via shop 2
+  flows.push_back(traffic::make_shortest_path_flow(net, 3, 5, 7.0));  // away
+  const traffic::ThresholdUtility utility(1e-9);
+  const PlacementProblem problem(net, flows, 2, utility);
+  const PlacementResult result = greedy_coverage_placement(problem, 2);
+  EXPECT_DOUBLE_EQ(result.customers, 5.0);
+}
+
+}  // namespace
+}  // namespace rap::core

@@ -1,0 +1,92 @@
+// Independent oracle for the placement objective: recompute "expected
+// attracted customers" from first principles — per flow, scan the placed
+// RAPs on its path, take the minimum detour (paper Section III-A), apply
+// the utility — with no reuse of PlacementState, IncidenceIndex or the
+// evaluator under test. Random placements on random instances must agree
+// exactly.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/core/evaluator.h"
+#include "src/core/problem.h"
+#include "src/traffic/detour.h"
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+// Ground-truth objective, written deliberately naively.
+double oracle_value(const graph::RoadNetwork& net,
+                    const std::vector<traffic::TrafficFlow>& flows,
+                    graph::NodeId shop,
+                    const traffic::UtilityFunction& utility,
+                    std::span<const graph::NodeId> placement) {
+  const traffic::DetourCalculator detours(net, shop);
+  double total = 0.0;
+  for (const traffic::TrafficFlow& flow : flows) {
+    const std::vector<double> along = detours.detours_along_path(flow);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < flow.path.size(); ++i) {
+      for (const graph::NodeId rap : placement) {
+        if (flow.path[i] == rap) best = std::min(best, along[i]);
+      }
+    }
+    if (best == std::numeric_limits<double>::infinity()) continue;
+    total += utility.probability(best, flow.alpha) * flow.population();
+  }
+  return total;
+}
+
+class ObjectiveOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ObjectiveOracle, EvaluatorMatchesFirstPrinciples) {
+  util::Rng rng(GetParam() * 37 + 11);
+  const auto net = testing::random_network(4 + rng.next_below(3),
+                                           4 + rng.next_below(3),
+                                           rng.next_below(8), rng);
+  const auto flows = testing::random_flows(net, 5 + rng.next_below(15), rng);
+  const auto shop = static_cast<graph::NodeId>(rng.next_below(net.num_nodes()));
+  for (const auto kind :
+       {traffic::UtilityKind::kThreshold, traffic::UtilityKind::kLinear,
+        traffic::UtilityKind::kSqrt}) {
+    const auto utility = traffic::make_utility(kind, rng.next_double(2.0, 8.0));
+    const PlacementProblem problem(net, flows, shop, *utility);
+    for (int trial = 0; trial < 8; ++trial) {
+      Placement placement;
+      const std::size_t size = 1 + rng.next_below(6);
+      for (std::size_t i = 0; i < size; ++i) {
+        placement.push_back(
+            static_cast<graph::NodeId>(rng.next_below(net.num_nodes())));
+      }
+      EXPECT_NEAR(evaluate_placement(problem, placement),
+                  oracle_value(net, flows, shop, *utility, placement), 1e-9)
+          << utility->name();
+    }
+  }
+}
+
+TEST_P(ObjectiveOracle, IncrementalStateMatchesFirstPrinciplesAtEveryStep) {
+  util::Rng rng(GetParam() * 41 + 13);
+  const auto net = testing::random_network(4, 5, 5, rng);
+  const auto flows = testing::random_flows(net, 12, rng);
+  const auto shop = static_cast<graph::NodeId>(rng.next_below(net.num_nodes()));
+  const traffic::LinearUtility utility(6.0);
+  const PlacementProblem problem(net, flows, shop, utility);
+  PlacementState state(problem);
+  Placement so_far;
+  for (int step = 0; step < 8; ++step) {
+    const auto v = static_cast<graph::NodeId>(rng.next_below(net.num_nodes()));
+    state.add(v);
+    so_far.push_back(v);
+    EXPECT_NEAR(state.value(), oracle_value(net, flows, shop, utility, so_far),
+                1e-9)
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, ObjectiveOracle,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace rap::core

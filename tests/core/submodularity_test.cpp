@@ -1,0 +1,110 @@
+// Mathematical structure checks on the placement objective: it is a
+// monotone submodular (facility-location) function of the placed set. These
+// properties are exactly what the lazy greedy and the approximation bounds
+// rely on, so they get their own property sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/evaluator.h"
+#include "src/core/problem.h"
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+struct Instance {
+  graph::RoadNetwork net;
+  std::vector<traffic::TrafficFlow> flows;
+  graph::NodeId shop = 0;
+};
+
+Instance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed * 53 + 17);
+  Instance inst;
+  inst.net = testing::random_network(4, 4, 5, rng);
+  inst.flows = testing::random_flows(inst.net, 12, rng);
+  inst.shop = static_cast<graph::NodeId>(rng.next_below(inst.net.num_nodes()));
+  return inst;
+}
+
+class Submodularity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Submodularity, DiminishingReturns) {
+  // f(S + v) - f(S) >= f(T + v) - f(T) for S subset-of T, v outside T.
+  const Instance inst = make_instance(GetParam());
+  util::Rng rng(GetParam() * 59 + 1);
+  for (const auto kind :
+       {traffic::UtilityKind::kThreshold, traffic::UtilityKind::kLinear,
+        traffic::UtilityKind::kSqrt}) {
+    const auto utility = traffic::make_utility(kind, 5.0);
+    const PlacementProblem problem(inst.net, inst.flows, inst.shop, *utility);
+    for (int trial = 0; trial < 10; ++trial) {
+      // Random S subset T subset V, and v outside T.
+      std::vector<graph::NodeId> nodes(inst.net.num_nodes());
+      for (graph::NodeId i = 0; i < nodes.size(); ++i) nodes[i] = i;
+      rng.shuffle(nodes);
+      const std::size_t s_size = rng.next_below(4);
+      const std::size_t t_size = s_size + rng.next_below(4);
+      if (t_size + 1 > nodes.size()) continue;
+      const std::span<const graph::NodeId> s_set(nodes.data(), s_size);
+      const std::span<const graph::NodeId> t_set(nodes.data(), t_size);
+      const graph::NodeId v = nodes[t_size];
+
+      PlacementState small(problem);
+      for (const graph::NodeId u : s_set) small.add(u);
+      PlacementState big(problem);
+      for (const graph::NodeId u : t_set) big.add(u);
+      EXPECT_GE(small.gain_if_added(v), big.gain_if_added(v) - 1e-9)
+          << utility->name();
+    }
+  }
+}
+
+TEST_P(Submodularity, Monotonicity) {
+  // f(S) <= f(T) for S subset-of T.
+  const Instance inst = make_instance(GetParam() + 500);
+  util::Rng rng(GetParam() * 61 + 2);
+  const traffic::LinearUtility utility(5.0);
+  const PlacementProblem problem(inst.net, inst.flows, inst.shop, utility);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<graph::NodeId> nodes(inst.net.num_nodes());
+    for (graph::NodeId i = 0; i < nodes.size(); ++i) nodes[i] = i;
+    rng.shuffle(nodes);
+    const std::size_t s_size = rng.next_below(5);
+    const std::size_t t_size =
+        std::min(nodes.size(), s_size + rng.next_below(5));
+    const std::span<const graph::NodeId> s_set(nodes.data(), s_size);
+    const std::span<const graph::NodeId> t_set(nodes.data(), t_size);
+    EXPECT_LE(evaluate_placement(problem, s_set),
+              evaluate_placement(problem, t_set) + 1e-12);
+  }
+}
+
+TEST_P(Submodularity, GainsShrinkAlongAnyAddSequence) {
+  // The lazy-greedy invariant: any node's marginal gain is non-increasing
+  // as other nodes are added in any order.
+  const Instance inst = make_instance(GetParam() + 900);
+  util::Rng rng(GetParam() * 67 + 3);
+  const traffic::SqrtUtility utility(5.0);
+  const PlacementProblem problem(inst.net, inst.flows, inst.shop, utility);
+  const auto watch =
+      static_cast<graph::NodeId>(rng.next_below(inst.net.num_nodes()));
+  PlacementState state(problem);
+  double prev_gain = state.gain_if_added(watch);
+  for (int step = 0; step < 8; ++step) {
+    const auto v =
+        static_cast<graph::NodeId>(rng.next_below(inst.net.num_nodes()));
+    if (v == watch) continue;
+    state.add(v);
+    const double gain = state.gain_if_added(watch);
+    EXPECT_LE(gain, prev_gain + 1e-9);
+    prev_gain = gain;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Submodularity,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rap::core

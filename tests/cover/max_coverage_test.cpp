@@ -1,0 +1,145 @@
+#include "src/cover/max_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/rng.h"
+
+namespace rap::cover {
+namespace {
+
+CoverageInstance classic_instance() {
+  // Elements 0..5 with weights; three overlapping sets.
+  return CoverageInstance({4.0, 3.0, 2.0, 1.0, 5.0, 2.0},
+                          {{0, 1, 2}, {2, 3, 4}, {4, 5}, {0, 5}});
+}
+
+TEST(CoverageInstance, Validation) {
+  EXPECT_THROW(CoverageInstance({-1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(CoverageInstance({1.0}, {{1}}), std::invalid_argument);
+  const CoverageInstance ok({1.0}, {{0}});
+  EXPECT_EQ(ok.num_elements(), 1u);
+  EXPECT_EQ(ok.num_sets(), 1u);
+  EXPECT_THROW(ok.weight(1), std::out_of_range);
+  EXPECT_THROW(ok.set(1), std::out_of_range);
+}
+
+TEST(CoverageInstance, CoverageWeightDeduplicates) {
+  const CoverageInstance instance = classic_instance();
+  const std::vector<SetId> both{0, 1};  // share element 2
+  EXPECT_DOUBLE_EQ(instance.coverage_weight(both), 4.0 + 3.0 + 2.0 + 1.0 + 5.0);
+  const std::vector<SetId> dup{0, 0};
+  EXPECT_DOUBLE_EQ(instance.coverage_weight(dup), 9.0);
+}
+
+TEST(GreedyMaxCoverage, HandExample) {
+  const CoverageInstance instance = classic_instance();
+  // Gains: set0 = 9, set1 = 8, set2 = 7, set3 = 6 -> pick 0; then
+  // set1 = 6, set2 = 7, set3 = 2 -> pick 2; total 16.
+  const CoverageResult result = greedy_max_coverage(instance, 2);
+  EXPECT_EQ(result.sets, (std::vector<SetId>{0, 2}));
+  EXPECT_DOUBLE_EQ(result.weight, 16.0);
+}
+
+TEST(GreedyMaxCoverage, StopsWhenNothingGains) {
+  const CoverageInstance instance({1.0, 1.0}, {{0, 1}, {0}, {1}});
+  const CoverageResult result = greedy_max_coverage(instance, 3);
+  EXPECT_EQ(result.sets.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.weight, 2.0);
+}
+
+TEST(GreedyMaxCoverage, RejectsZeroK) {
+  EXPECT_THROW(greedy_max_coverage(classic_instance(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(lazy_greedy_max_coverage(classic_instance(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(exhaustive_max_coverage(classic_instance(), 0),
+               std::invalid_argument);
+}
+
+TEST(GreedyMaxCoverage, WeightMatchesCoverageWeight) {
+  const CoverageInstance instance = classic_instance();
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const CoverageResult result = greedy_max_coverage(instance, k);
+    EXPECT_DOUBLE_EQ(result.weight, instance.coverage_weight(result.sets));
+  }
+}
+
+TEST(ExhaustiveMaxCoverage, HandExample) {
+  // Optimum for k = 2 is sets {0, 1}: weight 15? vs greedy {0,2} = 16.
+  // Recompute: {0,1} covers 0,1,2,3,4 = 15; {0,2} covers 0,1,2,4,5 = 16;
+  // {1,3} covers 2,3,4,0,5 = 14. Optimum is {0,2} with 16.
+  const CoverageResult result = exhaustive_max_coverage(classic_instance(), 2);
+  std::vector<SetId> sorted = result.sets;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<SetId>{0, 2}));
+  EXPECT_DOUBLE_EQ(result.weight, 16.0);
+}
+
+TEST(ExhaustiveMaxCoverage, BudgetEnforced) {
+  std::vector<std::vector<ElementId>> sets(40);
+  std::vector<double> weights(40, 1.0);
+  for (ElementId e = 0; e < 40; ++e) sets[e] = {e};
+  const CoverageInstance instance(std::move(weights), std::move(sets));
+  EXPECT_THROW(exhaustive_max_coverage(instance, 10, 100), std::runtime_error);
+}
+
+class LazyVsEager : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyVsEager, IdenticalSelections) {
+  util::Rng rng(GetParam() * 31 + 2);
+  const std::size_t elements = 20 + rng.next_below(30);
+  const std::size_t sets = 10 + rng.next_below(20);
+  std::vector<double> weights(elements);
+  for (double& w : weights) {
+    w = static_cast<double>(rng.next_below(10));  // ties on purpose
+  }
+  std::vector<std::vector<ElementId>> families(sets);
+  for (auto& family : families) {
+    const std::size_t size = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < size; ++i) {
+      family.push_back(static_cast<ElementId>(rng.next_below(elements)));
+    }
+  }
+  const CoverageInstance instance(std::move(weights), std::move(families));
+  for (const std::size_t k : {1u, 3u, 7u, 15u}) {
+    const CoverageResult eager = greedy_max_coverage(instance, k);
+    const CoverageResult lazy = lazy_greedy_max_coverage(instance, k);
+    EXPECT_EQ(eager.sets, lazy.sets) << "k=" << k;
+    EXPECT_DOUBLE_EQ(eager.weight, lazy.weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, LazyVsEager,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+class GreedyRatio : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyRatio, MeetsOneMinusOneOverE) {
+  util::Rng rng(GetParam() * 17 + 3);
+  const std::size_t elements = 10 + rng.next_below(10);
+  const std::size_t sets = 6 + rng.next_below(6);
+  std::vector<double> weights(elements);
+  for (double& w : weights) w = rng.next_double(0.0, 5.0);
+  std::vector<std::vector<ElementId>> families(sets);
+  for (auto& family : families) {
+    const std::size_t size = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < size; ++i) {
+      family.push_back(static_cast<ElementId>(rng.next_below(elements)));
+    }
+  }
+  const CoverageInstance instance(std::move(weights), std::move(families));
+  for (const std::size_t k : {1u, 2u, 3u}) {
+    const double greedy = greedy_max_coverage(instance, k).weight;
+    const double opt = exhaustive_max_coverage(instance, k).weight;
+    EXPECT_GE(greedy, (1.0 - 1.0 / 2.718281828) * opt - 1e-9) << "k=" << k;
+    EXPECT_LE(greedy, opt + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, GreedyRatio,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace rap::cover

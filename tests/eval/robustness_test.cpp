@@ -1,0 +1,142 @@
+#include "src/eval/robustness.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/builders.h"
+
+namespace rap::eval {
+namespace {
+
+struct Instance {
+  graph::RoadNetwork net;
+  std::vector<traffic::TrafficFlow> flows;
+};
+
+Instance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Instance inst;
+  inst.net = testing::random_network(5, 5, 6, rng);
+  inst.flows = testing::random_flows(inst.net, 15, rng, 0.5);
+  return inst;
+}
+
+TEST(PerturbDemand, PreservesStructure) {
+  const Instance inst = make_instance(1);
+  util::Rng rng(2);
+  const auto perturbed = perturb_demand(inst.flows, 0.3, rng);
+  ASSERT_EQ(perturbed.size(), inst.flows.size());
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    EXPECT_EQ(perturbed[i].path, inst.flows[i].path);
+    EXPECT_EQ(perturbed[i].origin, inst.flows[i].origin);
+    EXPECT_DOUBLE_EQ(perturbed[i].alpha, inst.flows[i].alpha);
+    EXPECT_GE(perturbed[i].daily_vehicles, 0.0);
+  }
+}
+
+TEST(PerturbDemand, ZeroCvIsIdentity) {
+  const Instance inst = make_instance(3);
+  util::Rng rng(4);
+  const auto perturbed = perturb_demand(inst.flows, 0.0, rng);
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(perturbed[i].daily_vehicles,
+                     inst.flows[i].daily_vehicles);
+  }
+}
+
+TEST(PerturbDemand, MeanRoughlyPreserved) {
+  const Instance inst = make_instance(5);
+  util::Rng rng(6);
+  double original = 0.0;
+  double perturbed_total = 0.0;
+  for (int s = 0; s < 300; ++s) {
+    for (const auto& flow : perturb_demand(inst.flows, 0.25, rng)) {
+      perturbed_total += flow.daily_vehicles;
+    }
+    for (const auto& flow : inst.flows) original += flow.daily_vehicles;
+  }
+  EXPECT_NEAR(perturbed_total / original, 1.0, 0.02);
+}
+
+TEST(PerturbDemand, RejectsNegativeCv) {
+  const Instance inst = make_instance(7);
+  util::Rng rng(8);
+  EXPECT_THROW(perturb_demand(inst.flows, -0.1, rng), std::invalid_argument);
+}
+
+TEST(DemandRobustness, Validation) {
+  const Instance inst = make_instance(9);
+  const traffic::LinearUtility utility(6.0);
+  RobustnessOptions options;
+  options.k = 0;
+  EXPECT_THROW(demand_robustness(inst.net, inst.flows, 0, utility, options),
+               std::invalid_argument);
+  options.k = 3;
+  options.samples = 0;
+  EXPECT_THROW(demand_robustness(inst.net, inst.flows, 0, utility, options),
+               std::invalid_argument);
+}
+
+TEST(DemandRobustness, RegretRatioBoundedByOne) {
+  const Instance inst = make_instance(11);
+  const traffic::LinearUtility utility(6.0);
+  RobustnessOptions options;
+  options.k = 3;
+  options.samples = 30;
+  options.volume_cv = 0.3;
+  const RobustnessResult result =
+      demand_robustness(inst.net, inst.flows, 5, utility, options);
+  // Hindsight never loses to the fixed nominal placement (both use the
+  // same greedy; hindsight sees the true demand).
+  EXPECT_LE(result.regret_ratio.max, 1.0 + 1e-9);
+  EXPECT_GT(result.regret_ratio.mean, 0.5);  // placements are not fragile
+  EXPECT_EQ(result.achieved.count, options.samples);
+  EXPECT_GE(result.reoptimized.mean, result.achieved.mean - 1e-9);
+}
+
+TEST(DemandRobustness, ZeroNoiseMeansZeroRegret) {
+  const Instance inst = make_instance(13);
+  const traffic::LinearUtility utility(6.0);
+  RobustnessOptions options;
+  options.k = 3;
+  options.samples = 5;
+  options.volume_cv = 0.0;
+  const RobustnessResult result =
+      demand_robustness(inst.net, inst.flows, 2, utility, options);
+  EXPECT_NEAR(result.regret_ratio.mean, 1.0, 1e-9);
+  EXPECT_NEAR(result.achieved.mean, result.nominal.customers, 1e-9);
+  EXPECT_NEAR(result.achieved.stddev, 0.0, 1e-9);
+}
+
+TEST(DemandRobustness, DeterministicForSeed) {
+  const Instance inst = make_instance(15);
+  const traffic::LinearUtility utility(6.0);
+  RobustnessOptions options;
+  options.k = 2;
+  options.samples = 10;
+  options.seed = 42;
+  const RobustnessResult a =
+      demand_robustness(inst.net, inst.flows, 1, utility, options);
+  const RobustnessResult b =
+      demand_robustness(inst.net, inst.flows, 1, utility, options);
+  EXPECT_DOUBLE_EQ(a.achieved.mean, b.achieved.mean);
+  EXPECT_DOUBLE_EQ(a.regret_ratio.mean, b.regret_ratio.mean);
+}
+
+TEST(DemandRobustness, MoreNoiseMoreSpread) {
+  const Instance inst = make_instance(17);
+  const traffic::LinearUtility utility(6.0);
+  RobustnessOptions calm;
+  calm.k = 3;
+  calm.samples = 40;
+  calm.volume_cv = 0.05;
+  RobustnessOptions wild = calm;
+  wild.volume_cv = 0.5;
+  const RobustnessResult a =
+      demand_robustness(inst.net, inst.flows, 3, utility, calm);
+  const RobustnessResult b =
+      demand_robustness(inst.net, inst.flows, 3, utility, wild);
+  EXPECT_LT(a.achieved.stddev, b.achieved.stddev);
+}
+
+}  // namespace
+}  // namespace rap::eval

@@ -1,0 +1,107 @@
+#include "src/graph/apsp.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dijkstra.h"
+#include "tests/testing/builders.h"
+
+namespace rap::graph {
+namespace {
+
+TEST(DistanceMatrix, SetGetRoundTrip) {
+  DistanceMatrix m(3);
+  m.set(0, 2, 5.5);
+  EXPECT_DOUBLE_EQ(m(0, 2), 5.5);
+  EXPECT_DOUBLE_EQ(m(2, 0), 0.0);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST(DistanceMatrix, RowSpan) {
+  DistanceMatrix m(2);
+  m.set(1, 0, 3.0);
+  m.set(1, 1, 0.0);
+  const auto row = m.row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+}
+
+TEST(DistanceMatrix, BoundsChecked) {
+  DistanceMatrix m(2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(m.row(2), std::out_of_range);
+}
+
+TEST(Apsp, LineNetwork) {
+  const RoadNetwork net = testing::line_network(4);
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), std::abs(static_cast<double>(i) -
+                                         static_cast<double>(j)));
+    }
+  }
+}
+
+TEST(Apsp, DiagonalIsZero) {
+  util::Rng rng(31);
+  const RoadNetwork net = testing::random_network(4, 3, 4, rng);
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+  }
+}
+
+TEST(Apsp, DisconnectedPairsAreInfinite) {
+  RoadNetwork net;
+  net.add_node({0.0, 0.0});
+  net.add_node({1.0, 0.0});
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  EXPECT_EQ(d(0, 1), kUnreachable);
+  EXPECT_EQ(d(1, 0), kUnreachable);
+}
+
+TEST(Apsp, AsymmetricOnOneWayStreets) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const NodeId c = net.add_node({0.5, 1.0});
+  net.add_edge(a, b, 1.0);
+  net.add_edge(b, c, 1.0);
+  net.add_edge(c, a, 1.0);
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  EXPECT_DOUBLE_EQ(d(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(d(b, a), 2.0);
+}
+
+TEST(Apsp, TwoWayNetworkIsSymmetric) {
+  util::Rng rng(37);
+  const RoadNetwork net = testing::random_network(4, 4, 6, rng);
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    for (NodeId j = 0; j < net.num_nodes(); ++j) {
+      EXPECT_NEAR(d(i, j), d(j, i), 1e-9);
+    }
+  }
+}
+
+class ApspVsFloydWarshall : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApspVsFloydWarshall, Agree) {
+  util::Rng rng(GetParam() * 7 + 1);
+  const RoadNetwork net = testing::random_network(
+      3 + rng.next_below(4), 3 + rng.next_below(4), rng.next_below(10), rng);
+  const DistanceMatrix fast = all_pairs_shortest_paths(net);
+  const DistanceMatrix slow = floyd_warshall(net);
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    for (NodeId j = 0; j < net.num_nodes(); ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-9) << i << "->" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ApspVsFloydWarshall,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rap::graph

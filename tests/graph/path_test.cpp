@@ -1,0 +1,111 @@
+#include "src/graph/path.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dijkstra.h"
+#include "tests/testing/builders.h"
+
+namespace rap::graph {
+namespace {
+
+TEST(IsWalk, ValidWalks) {
+  const RoadNetwork net = testing::line_network(4);
+  const std::vector<NodeId> path{0, 1, 2, 3};
+  const std::vector<NodeId> back_and_forth{1, 2, 1, 0};
+  const std::vector<NodeId> single{2};
+  EXPECT_TRUE(is_walk(net, path));
+  EXPECT_TRUE(is_walk(net, back_and_forth));  // revisiting is a walk
+  EXPECT_TRUE(is_walk(net, single));
+}
+
+TEST(IsWalk, InvalidWalks) {
+  const RoadNetwork net = testing::line_network(4);
+  const std::vector<NodeId> skip{0, 2};
+  const std::vector<NodeId> bad_node{0, 9};
+  const std::vector<NodeId> empty;
+  EXPECT_FALSE(is_walk(net, skip));
+  EXPECT_FALSE(is_walk(net, bad_node));
+  EXPECT_FALSE(is_walk(net, empty));
+}
+
+TEST(IsWalk, RespectsDirection) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  net.add_edge(a, b, 1.0);
+  const std::vector<NodeId> forward{a, b};
+  const std::vector<NodeId> backward{b, a};
+  EXPECT_TRUE(is_walk(net, forward));
+  EXPECT_FALSE(is_walk(net, backward));
+}
+
+TEST(PathLength, SumsEdges) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const NodeId c = net.add_node({2.0, 0.0});
+  net.add_two_way_edge(a, b, 1.5);
+  net.add_two_way_edge(b, c, 2.5);
+  const std::vector<NodeId> path{a, b, c};
+  EXPECT_DOUBLE_EQ(path_length(net, path), 4.0);
+}
+
+TEST(PathLength, SingleNodeIsZero) {
+  const RoadNetwork net = testing::line_network(2);
+  const std::vector<NodeId> single{0};
+  EXPECT_DOUBLE_EQ(path_length(net, single), 0.0);
+}
+
+TEST(PathLength, ThrowsOnNonWalk) {
+  const RoadNetwork net = testing::line_network(3);
+  const std::vector<NodeId> skip{0, 2};
+  EXPECT_THROW(path_length(net, skip), std::invalid_argument);
+}
+
+TEST(PathLength, UsesShortestParallelEdge) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  net.add_edge(a, b, 5.0);
+  net.add_edge(a, b, 2.0);
+  const std::vector<NodeId> path{a, b};
+  EXPECT_DOUBLE_EQ(path_length(net, path), 2.0);
+}
+
+TEST(CumulativeLengths, PrefixSums) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const NodeId c = net.add_node({2.0, 0.0});
+  net.add_two_way_edge(a, b, 1.0);
+  net.add_two_way_edge(b, c, 3.0);
+  const std::vector<NodeId> path{a, b, c};
+  EXPECT_EQ(cumulative_lengths(net, path), (std::vector<double>{0.0, 1.0, 4.0}));
+}
+
+TEST(CumulativeLengths, BackEqualsTotal) {
+  util::Rng rng(71);
+  const RoadNetwork net = testing::random_network(4, 4, 4, rng);
+  const auto path = shortest_path(net, 0, static_cast<NodeId>(net.num_nodes() - 1));
+  ASSERT_TRUE(path.has_value());
+  const auto cum = cumulative_lengths(net, *path);
+  EXPECT_DOUBLE_EQ(cum.back(), path_length(net, *path));
+  EXPECT_DOUBLE_EQ(cum.front(), 0.0);
+}
+
+TEST(IsShortestPath, DetectsOptimality) {
+  const RoadNetwork net = testing::line_network(5);
+  const std::vector<NodeId> direct{0, 1, 2};
+  const std::vector<NodeId> wandering{0, 1, 2, 1, 2};
+  EXPECT_TRUE(is_shortest_path(net, direct));
+  EXPECT_FALSE(is_shortest_path(net, wandering));
+}
+
+TEST(IsShortestPath, TrivialPath) {
+  const RoadNetwork net = testing::line_network(2);
+  const std::vector<NodeId> single{1};
+  EXPECT_TRUE(is_shortest_path(net, single));
+}
+
+}  // namespace
+}  // namespace rap::graph

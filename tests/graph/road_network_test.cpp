@@ -1,0 +1,197 @@
+#include "src/graph/road_network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "tests/testing/builders.h"
+
+namespace rap::graph {
+namespace {
+
+TEST(RoadNetwork, StartsEmpty) {
+  const RoadNetwork net;
+  EXPECT_EQ(net.num_nodes(), 0u);
+  EXPECT_EQ(net.num_edges(), 0u);
+  EXPECT_TRUE(net.bounds().empty());
+}
+
+TEST(RoadNetwork, AddNodeAssignsDenseIds) {
+  RoadNetwork net;
+  EXPECT_EQ(net.add_node({0.0, 0.0}), 0u);
+  EXPECT_EQ(net.add_node({1.0, 0.0}), 1u);
+  EXPECT_EQ(net.num_nodes(), 2u);
+  EXPECT_EQ(net.position(1), (geo::Point{1.0, 0.0}));
+}
+
+TEST(RoadNetwork, PositionValidatesId) {
+  RoadNetwork net;
+  net.add_node({0.0, 0.0});
+  EXPECT_THROW(net.position(1), std::out_of_range);
+  EXPECT_THROW(net.position(kInvalidNode), std::out_of_range);
+}
+
+TEST(RoadNetwork, AddEdgeValidation) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  EXPECT_THROW(net.add_edge(a, a, 1.0), std::invalid_argument);  // self-loop
+  EXPECT_THROW(net.add_edge(a, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(net.add_edge(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_edge(a, b, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.add_edge(a, b, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+}
+
+TEST(RoadNetwork, OneWayEdgeIsDirected) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  net.add_edge(a, b, 2.0);
+  EXPECT_EQ(net.out_degree(a), 1u);
+  EXPECT_EQ(net.in_degree(a), 0u);
+  EXPECT_EQ(net.out_degree(b), 0u);
+  EXPECT_EQ(net.in_degree(b), 1u);
+}
+
+TEST(RoadNetwork, TwoWayEdgeAddsBothDirections) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const EdgeId forward = net.add_two_way_edge(a, b, 2.0);
+  EXPECT_EQ(net.num_edges(), 2u);
+  EXPECT_EQ(net.edge(forward).from, a);
+  EXPECT_EQ(net.edge(forward + 1).from, b);
+  EXPECT_EQ(net.edge(forward).length, 2.0);
+}
+
+TEST(RoadNetwork, AddStreetUsesEuclideanLength) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({3.0, 4.0});
+  const EdgeId id = net.add_street(a, b);
+  EXPECT_DOUBLE_EQ(net.edge(id).length, 5.0);
+}
+
+TEST(RoadNetwork, AdjacencySurvivesMutation) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  net.add_edge(a, b, 1.0);
+  EXPECT_EQ(net.out_degree(a), 1u);  // builds adjacency
+  const NodeId c = net.add_node({2.0, 0.0});
+  net.add_edge(a, c, 2.0);  // invalidates adjacency
+  EXPECT_EQ(net.out_degree(a), 2u);
+}
+
+TEST(RoadNetwork, OutEdgesContent) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const NodeId c = net.add_node({2.0, 0.0});
+  net.add_edge(a, b, 1.0);
+  net.add_edge(a, c, 2.0);
+  std::vector<NodeId> targets;
+  for (const EdgeId id : net.out_edges(a)) targets.push_back(net.edge(id).to);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets, (std::vector<NodeId>{b, c}));
+}
+
+TEST(RoadNetwork, EdgeLookupValidates) {
+  RoadNetwork net;
+  EXPECT_THROW(net.edge(0), std::out_of_range);
+}
+
+TEST(RoadNetwork, BoundsCoverAllNodes) {
+  RoadNetwork net;
+  net.add_node({-1.0, 5.0});
+  net.add_node({3.0, -2.0});
+  const geo::BBox box = net.bounds();
+  EXPECT_EQ(box.min(), (geo::Point{-1.0, -2.0}));
+  EXPECT_EQ(box.max(), (geo::Point{3.0, 5.0}));
+}
+
+TEST(RoadNetwork, StrongConnectivityTwoWay) {
+  const RoadNetwork net = testing::line_network(5);
+  EXPECT_TRUE(net.is_strongly_connected());
+}
+
+TEST(RoadNetwork, StrongConnectivityFailsOneWayChain) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  net.add_edge(a, b, 1.0);  // no way back
+  EXPECT_FALSE(net.is_strongly_connected());
+}
+
+TEST(RoadNetwork, OneWayCycleIsStronglyConnected) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const NodeId c = net.add_node({0.5, 1.0});
+  net.add_edge(a, b, 1.0);
+  net.add_edge(b, c, 1.0);
+  net.add_edge(c, a, 1.0);
+  EXPECT_TRUE(net.is_strongly_connected());
+}
+
+TEST(RoadNetwork, EmptyAndSingletonAreStronglyConnected) {
+  RoadNetwork net;
+  EXPECT_TRUE(net.is_strongly_connected());
+  net.add_node({0.0, 0.0});
+  EXPECT_TRUE(net.is_strongly_connected());
+}
+
+TEST(RoadNetwork, LargestSccPicksBiggestComponent) {
+  RoadNetwork net;
+  // Component 1: 3-cycle. Component 2: 2-node two-way. Bridge: one-way only.
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  const NodeId c = net.add_node({0.5, 1.0});
+  const NodeId d = net.add_node({5.0, 0.0});
+  const NodeId e = net.add_node({6.0, 0.0});
+  net.add_edge(a, b, 1.0);
+  net.add_edge(b, c, 1.0);
+  net.add_edge(c, a, 1.0);
+  net.add_two_way_edge(d, e, 1.0);
+  net.add_edge(a, d, 1.0);  // one-way bridge keeps components separate
+  std::vector<NodeId> scc = net.largest_scc();
+  std::sort(scc.begin(), scc.end());
+  EXPECT_EQ(scc, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(RoadNetwork, LargestSccOfConnectedGraphIsEverything) {
+  const RoadNetwork net = testing::line_network(7);
+  EXPECT_EQ(net.largest_scc().size(), 7u);
+}
+
+TEST(RoadNetwork, LargestSccEmptyGraph) {
+  const RoadNetwork net;
+  EXPECT_TRUE(net.largest_scc().empty());
+}
+
+TEST(RoadNetwork, ParallelEdgesAllowed) {
+  RoadNetwork net;
+  const NodeId a = net.add_node({0.0, 0.0});
+  const NodeId b = net.add_node({1.0, 0.0});
+  net.add_edge(a, b, 1.0);
+  net.add_edge(a, b, 2.0);
+  EXPECT_EQ(net.out_degree(a), 2u);
+}
+
+TEST(RoadNetwork, DeepGraphSccDoesNotOverflowStack) {
+  // 20k-node one-way cycle: recursive Tarjan would blow the stack.
+  RoadNetwork net;
+  constexpr std::size_t kN = 20'000;
+  for (std::size_t i = 0; i < kN; ++i) {
+    net.add_node({static_cast<double>(i), 0.0});
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    net.add_edge(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % kN), 1.0);
+  }
+  EXPECT_TRUE(net.is_strongly_connected());
+}
+
+}  // namespace
+}  // namespace rap::graph

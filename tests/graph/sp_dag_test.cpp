@@ -1,0 +1,124 @@
+#include "src/graph/sp_dag.h"
+
+#include <gtest/gtest.h>
+
+#include "src/citygen/grid_city.h"
+#include "src/graph/path.h"
+#include "tests/testing/builders.h"
+
+namespace rap::graph {
+namespace {
+
+// 3x3 unit grid: node ids row-major, (col, row) -> row*3+col.
+citygen::GridCity grid3() {
+  return citygen::GridCity({3, 3, 1.0, {0.0, 0.0}});
+}
+
+TEST(ShortestPathDag, MembershipOnGrid) {
+  const auto city = grid3();
+  // Flow from SW (0,0)=0 to NE (2,2)=8: every node is on some shortest path.
+  const ShortestPathDag dag(city.network(), 0, 8);
+  EXPECT_DOUBLE_EQ(dag.total_distance(), 4.0);
+  for (NodeId v = 0; v < 9; ++v) {
+    EXPECT_TRUE(dag.on_some_shortest_path(v)) << v;
+  }
+}
+
+TEST(ShortestPathDag, MembershipExcludesDetours) {
+  const auto city = grid3();
+  // Flow along the bottom row: 0 -> 2. Only the bottom row is on the DAG.
+  const ShortestPathDag dag(city.network(), 0, 2);
+  EXPECT_TRUE(dag.on_some_shortest_path(0));
+  EXPECT_TRUE(dag.on_some_shortest_path(1));
+  EXPECT_TRUE(dag.on_some_shortest_path(2));
+  for (NodeId v = 3; v < 9; ++v) {
+    EXPECT_FALSE(dag.on_some_shortest_path(v)) << v;
+  }
+}
+
+TEST(ShortestPathDag, DagNodesSorted) {
+  const auto city = grid3();
+  const ShortestPathDag dag(city.network(), 0, 2);
+  EXPECT_EQ(dag.dag_nodes(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(ShortestPathDag, CountPathsOnGrid) {
+  const auto city = grid3();
+  // 0 -> 8 needs 2 easts + 2 norths: C(4,2) = 6 distinct shortest paths.
+  EXPECT_EQ(ShortestPathDag(city.network(), 0, 8).count_paths(), 6u);
+  // Straight along an edge: exactly one.
+  EXPECT_EQ(ShortestPathDag(city.network(), 0, 2).count_paths(), 1u);
+}
+
+TEST(ShortestPathDag, CountPathsLargerGrid) {
+  const citygen::GridCity city({5, 5, 1.0, {0.0, 0.0}});
+  // Corner to corner on 5x5: C(8,4) = 70.
+  const ShortestPathDag dag(city.network(), city.node_at(0, 0),
+                            city.node_at(4, 4));
+  EXPECT_EQ(dag.count_paths(), 70u);
+}
+
+TEST(ShortestPathDag, PathViaIsShortestAndPassesVia) {
+  const auto city = grid3();
+  const ShortestPathDag dag(city.network(), 0, 8);
+  const NodeId via = 4;  // centre
+  const auto path = dag.path_via(via);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 8u);
+  EXPECT_NE(std::find(path->begin(), path->end(), via), path->end());
+  EXPECT_TRUE(is_shortest_path(city.network(), *path));
+}
+
+TEST(ShortestPathDag, PathViaOffDagIsNullopt) {
+  const auto city = grid3();
+  const ShortestPathDag dag(city.network(), 0, 2);
+  EXPECT_FALSE(dag.path_via(4).has_value());
+}
+
+TEST(ShortestPathDag, UnreachableDestinationThrows) {
+  RoadNetwork net;
+  net.add_node({0.0, 0.0});
+  net.add_node({1.0, 0.0});
+  EXPECT_THROW(ShortestPathDag(net, 0, 1), std::invalid_argument);
+}
+
+TEST(ShortestPathDag, DistancesExposed) {
+  const auto city = grid3();
+  const ShortestPathDag dag(city.network(), 0, 8);
+  EXPECT_DOUBLE_EQ(dag.distance_from_origin(4), 2.0);
+  EXPECT_DOUBLE_EQ(dag.distance_to_destination(4), 2.0);
+}
+
+// Property: membership test agrees with the definition dist(i,v)+dist(v,j)
+// == dist(i,j) computed independently; path_via always yields shortest
+// paths through the chosen node.
+class SpDagProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpDagProperty, MembershipMatchesDefinition) {
+  util::Rng rng(GetParam() + 77);
+  const RoadNetwork net = testing::random_network(4, 4, 5, rng);
+  const auto i = static_cast<NodeId>(rng.next_below(net.num_nodes()));
+  auto j = static_cast<NodeId>(rng.next_below(net.num_nodes()));
+  if (i == j) j = (j + 1) % static_cast<NodeId>(net.num_nodes());
+  const ShortestPathDag dag(net, i, j);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    const double direct = dijkstra_distance(net, i, v);
+    const double rest = dijkstra_distance(net, v, j);
+    const bool expected =
+        direct != kUnreachable && rest != kUnreachable &&
+        direct + rest <= dag.total_distance() + 1e-9;
+    EXPECT_EQ(dag.on_some_shortest_path(v), expected) << v;
+    if (expected) {
+      const auto path = dag.path_via(v);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_TRUE(is_shortest_path(net, *path));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SpDagProperty,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rap::graph

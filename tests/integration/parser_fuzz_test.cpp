@@ -1,0 +1,101 @@
+// Deterministic fuzz of every text parser in the library: random byte
+// soup, random near-valid mutations, and truncated valid documents must
+// never crash, hang, or corrupt state — only parse or throw.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/graph/io.h"
+#include "src/trace/io.h"
+#include "src/util/csv.h"
+#include "src/util/rng.h"
+#include "tests/testing/builders.h"
+
+namespace rap {
+namespace {
+
+std::string random_bytes(util::Rng& rng, std::size_t length) {
+  // Printable-ish plus structural characters the parsers care about.
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789,\"\n\r.|-+eE ";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.next_below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+template <typename Fn>
+void expect_parse_or_throw(Fn&& parse) {
+  try {
+    parse();
+  } catch (const std::invalid_argument&) {
+    // fine: malformed input reported
+  } catch (const std::out_of_range&) {
+    // fine: e.g. numeric overflow routed through stod
+  }
+  // Anything else (crash, uncaught type) fails the test by terminating.
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, CsvParserNeverCrashes) {
+  util::Rng rng(GetParam() * 71 + 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string soup = random_bytes(rng, rng.next_below(200));
+    expect_parse_or_throw([&] { (void)util::parse_csv(soup); });
+  }
+}
+
+TEST_P(ParserFuzz, NetworkParserNeverCrashes) {
+  util::Rng rng(GetParam() * 73 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string soup =
+        "node," + random_bytes(rng, rng.next_below(100));
+    expect_parse_or_throw([&] { (void)graph::network_from_csv(soup); });
+  }
+}
+
+TEST_P(ParserFuzz, TraceRecordParserNeverCrashes) {
+  util::Rng rng(GetParam() * 79 + 9);
+  const std::string header = "vehicle_id,journey_id,run_id,timestamp,x,y\n";
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string soup = header + random_bytes(rng, rng.next_below(150));
+    expect_parse_or_throw([&] { (void)trace::records_from_csv(soup); });
+  }
+}
+
+TEST_P(ParserFuzz, TruncatedValidDocumentsHandled) {
+  // Take a valid serialised network and chop it at every prefix length:
+  // each prefix must parse or throw, never crash.
+  util::Rng rng(GetParam() * 83 + 11);
+  const auto net = testing::random_network(3, 3, 2, rng);
+  const std::string full = graph::network_to_csv(net);
+  for (std::size_t cut = 0; cut <= full.size(); cut += 7) {
+    expect_parse_or_throw(
+        [&] { (void)graph::network_from_csv(full.substr(0, cut)); });
+  }
+}
+
+TEST_P(ParserFuzz, MutatedValidDocumentsHandled) {
+  // Flip single characters in a valid flow CSV.
+  util::Rng rng(GetParam() * 89 + 13);
+  const auto net = testing::line_network(5);
+  std::vector<traffic::TrafficFlow> flows;
+  flows.push_back(traffic::make_shortest_path_flow(net, 0, 4, 3.0));
+  const std::string valid = trace::flows_to_csv(flows);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>('0' + rng.next_below(80));
+    expect_parse_or_throw(
+        [&] { (void)trace::flows_from_csv(net, mutated); });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace rap

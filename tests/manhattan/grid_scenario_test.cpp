@@ -1,0 +1,158 @@
+#include "src/manhattan/grid_scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/dijkstra.h"
+
+namespace rap::manhattan {
+namespace {
+
+TEST(GridScenario, RejectsBadSize) {
+  EXPECT_THROW(GridScenario(2, 1.0), std::invalid_argument);   // too small
+  EXPECT_THROW(GridScenario(4, 1.0), std::invalid_argument);   // even
+  EXPECT_NO_THROW(GridScenario(3, 1.0));
+}
+
+TEST(GridScenario, ShopAtCenter) {
+  const GridScenario s(5, 100.0);
+  EXPECT_EQ(s.shop_coord(), (citygen::GridCoord{2, 2}));
+  EXPECT_EQ(s.city().coord_of(s.shop_node()), (citygen::GridCoord{2, 2}));
+  EXPECT_DOUBLE_EQ(s.side(), 400.0);
+}
+
+TEST(GridScenario, BoundingRectangleMembership) {
+  const GridScenario s(5, 1.0);
+  // Flow from west (0,2) to east (4,2): only row 2.
+  EXPECT_TRUE(GridScenario::on_some_shortest_path({0, 2}, {4, 2}, {2, 2}));
+  EXPECT_FALSE(GridScenario::on_some_shortest_path({0, 2}, {4, 2}, {2, 3}));
+  // Turned flow (0,0) -> (2,4): rectangle cols 0..2, rows 0..4.
+  EXPECT_TRUE(GridScenario::on_some_shortest_path({0, 0}, {2, 4}, {1, 3}));
+  EXPECT_TRUE(GridScenario::on_some_shortest_path({0, 0}, {2, 4}, {0, 0}));
+  EXPECT_FALSE(GridScenario::on_some_shortest_path({0, 0}, {2, 4}, {3, 1}));
+}
+
+TEST(GridScenario, MembershipSymmetricInEndpoints) {
+  EXPECT_TRUE(GridScenario::on_some_shortest_path({4, 1}, {0, 3}, {2, 2}));
+  EXPECT_TRUE(GridScenario::on_some_shortest_path({0, 3}, {4, 1}, {2, 2}));
+}
+
+TEST(GridScenario, DetourFormula) {
+  const GridScenario s(5, 1.0);  // shop (2,2), spacing 1
+  // Receiving at (0,0) with exit (4,0): L1(v,shop)=4, L1(shop,exit)=4,
+  // L1(v,exit)=4 -> detour 4.
+  EXPECT_DOUBLE_EQ(s.detour_at({0, 0}, {4, 0}), 4.0);
+  // Receiving at the shop itself: detour 0 (shop on the way).
+  EXPECT_DOUBLE_EQ(s.detour_at({2, 2}, {4, 2}), 0.0);
+  // Exit at the shop: detour = L1(v, shop) + 0 - L1(v, shop) = 0? No:
+  // d = L1(v,s) + L1(s,exit=s) - L1(v,exit=s) = 0.
+  EXPECT_DOUBLE_EQ(s.detour_at({0, 0}, {2, 2}), 0.0);
+}
+
+TEST(GridScenario, DetourScalesWithSpacing) {
+  const GridScenario unit(5, 1.0);
+  const GridScenario feet(5, 250.0);
+  EXPECT_DOUBLE_EQ(feet.detour_at({0, 0}, {4, 0}),
+                   250.0 * unit.detour_at({0, 0}, {4, 0}));
+}
+
+TEST(GridScenario, BestDetourPicksReachableMinimum) {
+  const GridScenario s(5, 1.0);
+  GridFlow flow;
+  flow.entry = {0, 2};
+  flow.exit = {4, 2};
+  flow.daily_vehicles = 1.0;
+  const citygen::GridCity& city = s.city();
+  // RAP off the row: unreachable. RAP on the row at (1,2): detour
+  // = L1((1,2),(2,2)) + L1((2,2),(4,2)) - L1((1,2),(4,2)) = 1 + 2 - 3 = 0.
+  const std::vector<graph::NodeId> off{city.node_at(1, 3)};
+  const std::vector<graph::NodeId> on{city.node_at(1, 2), city.node_at(1, 3)};
+  EXPECT_EQ(s.best_detour(flow, off), graph::kUnreachable);
+  EXPECT_DOUBLE_EQ(s.best_detour(flow, on), 0.0);
+}
+
+TEST(GridScenario, StraightFlowThroughShopRowDetourProfile) {
+  // On the shop's own row, receiving the ad before the shop costs nothing;
+  // past the shop the driver backtracks 2 * (c - 3) — non-decreasing along
+  // the path (Theorem 1 on the grid).
+  const GridScenario s(7, 1.0);
+  GridFlow flow;
+  flow.entry = {0, 3};  // shop row
+  flow.exit = {6, 3};
+  for (std::size_t c = 0; c < 7; ++c) {
+    const double expected = c <= 3 ? 0.0 : 2.0 * static_cast<double>(c - 3);
+    EXPECT_DOUBLE_EQ(s.detour_at({c, 3}, flow.exit), expected) << c;
+  }
+}
+
+TEST(GridScenario, EvaluateSumsUtilities) {
+  const GridScenario s(5, 1.0);
+  const traffic::ThresholdUtility utility(10.0);
+  std::vector<GridFlow> flows(2);
+  flows[0].entry = {0, 2};
+  flows[0].exit = {4, 2};
+  flows[0].daily_vehicles = 3.0;
+  flows[0].alpha = 1.0;
+  flows[1].entry = {2, 0};
+  flows[1].exit = {2, 4};
+  flows[1].daily_vehicles = 5.0;
+  flows[1].alpha = 1.0;
+  const std::vector<graph::NodeId> center{s.shop_node()};
+  // The centre node is on both flows' unique shortest paths with detour 0.
+  EXPECT_DOUBLE_EQ(s.evaluate(flows, center, utility), 8.0);
+  EXPECT_DOUBLE_EQ(s.evaluate(flows, {}, utility), 0.0);
+}
+
+TEST(GridScenario, BoundaryCoordsCompleteAndUnique) {
+  const GridScenario s(5, 1.0);
+  const auto boundary = s.boundary_coords();
+  EXPECT_EQ(boundary.size(), 16u);  // 4*(5-1)
+  std::set<std::pair<std::size_t, std::size_t>> unique;
+  for (const auto& c : boundary) {
+    EXPECT_TRUE(c.col == 0 || c.col == 4 || c.row == 0 || c.row == 4);
+    unique.insert({c.col, c.row});
+  }
+  EXPECT_EQ(unique.size(), boundary.size());
+}
+
+TEST(GenerateGridFlows, ProducesValidBoundaryFlows) {
+  const GridScenario s(7, 100.0);
+  GridFlowGenSpec spec;
+  spec.count = 40;
+  spec.mean_vehicles = 10.0;
+  util::Rng rng(5);
+  const auto flows = generate_grid_flows(s, spec, rng);
+  ASSERT_EQ(flows.size(), 40u);
+  for (const GridFlow& flow : flows) {
+    EXPECT_FALSE(flow.entry == flow.exit);
+    EXPECT_GE(flow.daily_vehicles, 1.0);
+    EXPECT_DOUBLE_EQ(flow.passengers_per_vehicle, 200.0);
+    EXPECT_DOUBLE_EQ(flow.alpha, 0.001);
+    const std::size_t last = s.n() - 1;
+    const auto on_boundary = [&](citygen::GridCoord c) {
+      return c.col == 0 || c.col == last || c.row == 0 || c.row == last;
+    };
+    EXPECT_TRUE(on_boundary(flow.entry));
+    EXPECT_TRUE(on_boundary(flow.exit));
+  }
+}
+
+TEST(GenerateGridFlows, DeterministicAndValidatesCount) {
+  const GridScenario s(5, 1.0);
+  GridFlowGenSpec spec;
+  spec.count = 10;
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const auto a = generate_grid_flows(s, spec, rng1);
+  const auto b = generate_grid_flows(s, spec, rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i].entry == b[i].entry && a[i].exit == b[i].exit);
+  }
+  spec.count = 0;
+  util::Rng rng3(1);
+  EXPECT_THROW(generate_grid_flows(s, spec, rng3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rap::manhattan

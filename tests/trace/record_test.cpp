@@ -1,0 +1,88 @@
+#include "src/trace/record.h"
+
+#include <gtest/gtest.h>
+
+namespace rap::trace {
+namespace {
+
+TraceRecord make(std::uint32_t journey, std::uint32_t run, double t) {
+  TraceRecord r;
+  r.journey_id = journey;
+  r.run_id = run;
+  r.timestamp = t;
+  return r;
+}
+
+TEST(SortRecords, OrdersByJourneyRunTime) {
+  std::vector<TraceRecord> records{
+      make(1, 0, 5.0), make(0, 1, 0.0), make(0, 0, 3.0),
+      make(0, 0, 1.0), make(1, 0, 2.0),
+  };
+  sort_records(records);
+  EXPECT_EQ(records[0].journey_id, 0u);
+  EXPECT_EQ(records[0].run_id, 0u);
+  EXPECT_DOUBLE_EQ(records[0].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(records[1].timestamp, 3.0);
+  EXPECT_EQ(records[2].run_id, 1u);
+  EXPECT_EQ(records[3].journey_id, 1u);
+  EXPECT_DOUBLE_EQ(records[3].timestamp, 2.0);
+}
+
+TEST(SplitRuns, GroupsByJourneyAndRun) {
+  std::vector<TraceRecord> records{
+      make(0, 0, 0.0), make(0, 0, 1.0), make(0, 1, 0.0),
+      make(1, 2, 0.0), make(1, 2, 1.0), make(1, 2, 2.0),
+  };
+  const auto runs = split_runs(records);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].journey_id, 0u);
+  EXPECT_EQ(runs[0].run_id, 0u);
+  EXPECT_EQ(runs[0].records.size(), 2u);
+  EXPECT_EQ(runs[1].run_id, 1u);
+  EXPECT_EQ(runs[1].records.size(), 1u);
+  EXPECT_EQ(runs[2].journey_id, 1u);
+  EXPECT_EQ(runs[2].records.size(), 3u);
+}
+
+TEST(SplitRuns, EmptyInput) {
+  EXPECT_TRUE(split_runs({}).empty());
+}
+
+TEST(SplitRuns, SingleRecord) {
+  const std::vector<TraceRecord> records{make(3, 7, 1.0)};
+  const auto runs = split_runs(records);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].journey_id, 3u);
+  EXPECT_EQ(runs[0].run_id, 7u);
+}
+
+TEST(SplitRuns, RejectsUnsortedInput) {
+  const std::vector<TraceRecord> records{make(1, 0, 0.0), make(0, 0, 0.0)};
+  EXPECT_THROW(split_runs(records), std::invalid_argument);
+}
+
+TEST(SplitRuns, SameRunIdDifferentJourneySplits) {
+  const std::vector<TraceRecord> records{make(0, 5, 0.0), make(1, 5, 0.0)};
+  const auto runs = split_runs(records);
+  EXPECT_EQ(runs.size(), 2u);
+}
+
+TEST(SplitRuns, ViewsCoverAllRecords) {
+  std::vector<TraceRecord> records;
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    for (std::uint32_t r = 0; r < 3; ++r) {
+      for (int t = 0; t < 5; ++t) {
+        records.push_back(make(j, j * 3 + r, t));
+      }
+    }
+  }
+  sort_records(records);
+  const auto runs = split_runs(records);
+  std::size_t total = 0;
+  for (const RunView& run : runs) total += run.records.size();
+  EXPECT_EQ(total, records.size());
+  EXPECT_EQ(runs.size(), 12u);
+}
+
+}  // namespace
+}  // namespace rap::trace

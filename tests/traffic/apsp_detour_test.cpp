@@ -1,0 +1,90 @@
+#include "src/traffic/apsp_detour.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/problem.h"
+#include "tests/testing/builders.h"
+
+namespace rap::traffic {
+namespace {
+
+using testing::Fig4;
+
+TEST(ApspDetour, MatchesDijkstraCalculatorOnFig4) {
+  const Fig4 fig;
+  const DetourCalculator dijkstra_based(fig.net, Fig4::shop);
+  const ApspDetourCalculator apsp_based(fig.net, Fig4::shop);
+  for (const auto& flow : fig.flows) {
+    EXPECT_EQ(apsp_based.detours_along_path(flow),
+              dijkstra_based.detours_along_path(flow));
+  }
+}
+
+TEST(ApspDetour, MatchesOnRandomNetworksBothModes) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    util::Rng rng(seed * 13 + 1);
+    const auto net = testing::random_network(4, 4, 6, rng);
+    const auto flows = testing::random_flows(net, 10, rng);
+    const auto shop = static_cast<graph::NodeId>(rng.next_below(net.num_nodes()));
+    for (const DetourMode mode :
+         {DetourMode::kAlongPath, DetourMode::kShortestPath}) {
+      const DetourCalculator reference(net, shop, mode);
+      const ApspDetourCalculator apsp(net, shop, mode);
+      for (const auto& flow : flows) {
+        const auto expected = reference.detours_along_path(flow);
+        const auto got = apsp.detours_along_path(flow);
+        ASSERT_EQ(expected.size(), got.size());
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_NEAR(got[i], expected[i], 1e-9) << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(ApspDetour, SharedMatrixAcrossShops) {
+  const Fig4 fig;
+  const graph::DistanceMatrix matrix =
+      graph::all_pairs_shortest_paths(fig.net);
+  for (graph::NodeId shop = 0; shop < fig.net.num_nodes(); ++shop) {
+    const ApspDetourCalculator shared(fig.net, matrix, shop);
+    const DetourCalculator reference(fig.net, shop);
+    for (const auto& flow : fig.flows) {
+      EXPECT_EQ(shared.detours_along_path(flow),
+                reference.detours_along_path(flow));
+    }
+  }
+}
+
+TEST(ApspDetour, Validation) {
+  const Fig4 fig;
+  EXPECT_THROW(ApspDetourCalculator(fig.net, 99), std::out_of_range);
+  const graph::DistanceMatrix wrong(3);
+  EXPECT_THROW(ApspDetourCalculator(fig.net, wrong, 0), std::invalid_argument);
+}
+
+TEST(ApspDetour, UnreachableShopInfinite) {
+  graph::RoadNetwork net;
+  const auto a = net.add_node({0.0, 0.0});
+  const auto b = net.add_node({1.0, 0.0});
+  const auto island = net.add_node({9.0, 9.0});
+  net.add_two_way_edge(a, b, 1.0);
+  const ApspDetourCalculator calc(net, island);
+  const auto flow = make_shortest_path_flow(net, a, b, 1.0);
+  for (const double d : calc.detours_along_path(flow)) {
+    EXPECT_EQ(d, graph::kUnreachable);
+  }
+}
+
+TEST(ApspDetour, WorksInsidePlacementProblem) {
+  const Fig4 fig;
+  const ThresholdUtility utility(Fig4::threshold);
+  auto detours = std::make_unique<ApspDetourCalculator>(fig.net, Fig4::shop);
+  const core::PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility,
+                                       std::move(detours));
+  // Same incidence as the Dijkstra-backed problem: V3 reaches three flows.
+  EXPECT_EQ(problem.reach_at(Fig4::V3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace rap::traffic

@@ -1,0 +1,165 @@
+#include "src/traffic/detour.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/builders.h"
+
+namespace rap::traffic {
+namespace {
+
+using testing::Fig4;
+
+TEST(DetourCalculator, Fig4HandComputedValues) {
+  const Fig4 fig;
+  const DetourCalculator calc(fig.net, Fig4::shop);
+  // T(2,5), path V2 V3 V5: detours 2, 4, 6 (Section III-C's numbers).
+  const auto d25 = calc.detours_along_path(fig.flows[0]);
+  ASSERT_EQ(d25.size(), 3u);
+  EXPECT_DOUBLE_EQ(d25[0], 2.0);
+  EXPECT_DOUBLE_EQ(d25[1], 4.0);
+  EXPECT_DOUBLE_EQ(d25[2], 6.0);
+  // T(3,5): 4 at V3, 6 at V5.
+  const auto d35 = calc.detours_along_path(fig.flows[1]);
+  EXPECT_DOUBLE_EQ(d35[0], 4.0);
+  EXPECT_DOUBLE_EQ(d35[1], 6.0);
+  // T(4,3): 2 at V4, 4 at V3.
+  const auto d43 = calc.detours_along_path(fig.flows[2]);
+  EXPECT_DOUBLE_EQ(d43[0], 2.0);
+  EXPECT_DOUBLE_EQ(d43[1], 4.0);
+  // T(5,6): 6 at V5, 8 at V6 (the paper notes V6 exceeds D = 6).
+  const auto d56 = calc.detours_along_path(fig.flows[3]);
+  EXPECT_DOUBLE_EQ(d56[0], 6.0);
+  EXPECT_DOUBLE_EQ(d56[1], 8.0);
+}
+
+TEST(DetourCalculator, ShopOnRouteCostsNothing) {
+  const auto net = testing::line_network(5);
+  const DetourCalculator calc(net, 2);
+  const auto flow = make_shortest_path_flow(net, 0, 4, 1.0);
+  const auto detours = calc.detours_along_path(flow);
+  // Receiving the ad before the shop (indices 0..2) costs nothing; at node
+  // 3 the driver must backtrack 1 each way; at 4, 2 each way.
+  EXPECT_DOUBLE_EQ(detours[0], 0.0);
+  EXPECT_DOUBLE_EQ(detours[1], 0.0);
+  EXPECT_DOUBLE_EQ(detours[2], 0.0);
+  EXPECT_DOUBLE_EQ(detours[3], 2.0);
+  EXPECT_DOUBLE_EQ(detours[4], 4.0);
+}
+
+TEST(DetourCalculator, DistanceAccessors) {
+  const Fig4 fig;
+  const DetourCalculator calc(fig.net, Fig4::shop);
+  EXPECT_DOUBLE_EQ(calc.distance_to_shop(Fig4::V3), 2.0);
+  EXPECT_DOUBLE_EQ(calc.distance_from_shop(Fig4::V5), 3.0);
+  EXPECT_DOUBLE_EQ(calc.distance_to_shop(Fig4::V1), 0.0);
+  EXPECT_EQ(calc.shop(), Fig4::shop);
+}
+
+TEST(DetourCalculator, UnreachableShopGivesInfiniteDetours) {
+  graph::RoadNetwork net;
+  const auto a = net.add_node({0.0, 0.0});
+  const auto b = net.add_node({1.0, 0.0});
+  const auto island = net.add_node({9.0, 9.0});
+  net.add_two_way_edge(a, b, 1.0);
+  const DetourCalculator calc(net, island);
+  const auto flow = make_shortest_path_flow(net, a, b, 1.0);
+  for (const double d : calc.detours_along_path(flow)) {
+    EXPECT_EQ(d, graph::kUnreachable);
+  }
+}
+
+TEST(DetourCalculator, DetourAtMatchesVector) {
+  const Fig4 fig;
+  const DetourCalculator calc(fig.net, Fig4::shop);
+  EXPECT_DOUBLE_EQ(calc.detour_at(fig.flows[0], 1), 4.0);
+  EXPECT_THROW(calc.detour_at(fig.flows[0], 3), std::out_of_range);
+}
+
+TEST(DetourCalculator, ValidatesFlow) {
+  const Fig4 fig;
+  const DetourCalculator calc(fig.net, Fig4::shop);
+  TrafficFlow bad = fig.flows[0];
+  bad.path = {Fig4::V2, Fig4::V5};  // not a walk
+  EXPECT_THROW(calc.detours_along_path(bad), std::invalid_argument);
+}
+
+TEST(DetourCalculator, ModesAgreeOnShortestPathFlows) {
+  util::Rng rng(55);
+  const auto net = testing::random_network(5, 5, 8, rng);
+  const auto flows = testing::random_flows(net, 20, rng);
+  const DetourCalculator along(net, 7, DetourMode::kAlongPath);
+  const DetourCalculator shortest(net, 7, DetourMode::kShortestPath);
+  for (const auto& flow : flows) {
+    const auto a = along.detours_along_path(flow);
+    const auto b = shortest.detours_along_path(flow);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i], b[i], 1e-9) << "position " << i;
+    }
+  }
+}
+
+TEST(DetourCalculator, ShortestPathModeClampsWanderingRoutes) {
+  // A wandering (non-shortest) path: along-path d''' is inflated, which
+  // reduces the computed detour; shortest-path mode uses the true distance.
+  const auto net = testing::line_network(5);
+  TrafficFlow flow;
+  flow.origin = 0;
+  flow.destination = 2;
+  flow.path = {0, 1, 2, 3, 2};  // wanders to 3 and back
+  flow.daily_vehicles = 1.0;
+  const DetourCalculator along(net, 4, DetourMode::kAlongPath);
+  const DetourCalculator shortest(net, 4, DetourMode::kShortestPath);
+  const auto da = along.detours_along_path(flow);
+  const auto ds = shortest.detours_along_path(flow);
+  // At position 0: d' = 4, d'' = dist(4->2) = 2; along-path d''' = 4
+  // (0->1->2->3->2) vs true shortest 2.
+  EXPECT_DOUBLE_EQ(da[0], 2.0);
+  EXPECT_DOUBLE_EQ(ds[0], 4.0);
+}
+
+// Theorem 1: on a shortest-path flow, detour distances are non-decreasing
+// along the path — the first RAP always offers the best detour.
+class Theorem1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1, DetourNonDecreasingAlongPath) {
+  util::Rng rng(GetParam() * 13 + 3);
+  const auto net = testing::random_network(
+      4 + rng.next_below(3), 4 + rng.next_below(3), rng.next_below(10), rng);
+  const auto shop = static_cast<graph::NodeId>(rng.next_below(net.num_nodes()));
+  const DetourCalculator calc(net, shop);
+  for (const auto& flow : testing::random_flows(net, 10, rng)) {
+    const auto detours = calc.detours_along_path(flow);
+    for (std::size_t i = 1; i < detours.size(); ++i) {
+      EXPECT_LE(detours[i - 1], detours[i] + 1e-9)
+          << "flow " << flow.origin << "->" << flow.destination
+          << " at position " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Theorem1,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// Detours are always >= 0 and finite on strongly connected networks.
+class DetourSanity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DetourSanity, NonNegativeAndFinite) {
+  util::Rng rng(GetParam() + 900);
+  const auto net = testing::random_network(4, 4, 6, rng);
+  ASSERT_TRUE(net.is_strongly_connected());
+  const auto shop = static_cast<graph::NodeId>(rng.next_below(net.num_nodes()));
+  const DetourCalculator calc(net, shop);
+  for (const auto& flow : testing::random_flows(net, 8, rng)) {
+    for (const double d : calc.detours_along_path(flow)) {
+      EXPECT_GE(d, 0.0);
+      EXPECT_LT(d, graph::kUnreachable);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DetourSanity,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace rap::traffic

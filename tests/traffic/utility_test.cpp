@@ -1,0 +1,127 @@
+#include "src/traffic/utility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rap::traffic {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ThresholdUtility, ConstantUpToRange) {
+  const ThresholdUtility u(10.0);
+  EXPECT_DOUBLE_EQ(u.probability(0.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(u.probability(5.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(u.probability(10.0, 0.5), 0.5);  // boundary inclusive
+  EXPECT_DOUBLE_EQ(u.probability(10.0001, 0.5), 0.0);
+}
+
+TEST(LinearUtility, DecaysLinearly) {
+  const LinearUtility u(10.0);
+  EXPECT_DOUBLE_EQ(u.probability(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.probability(5.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.probability(10.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.probability(11.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.probability(2.5, 0.4), 0.3);
+}
+
+TEST(SqrtUtility, DecaysAsSqrt) {
+  const SqrtUtility u(16.0);
+  EXPECT_DOUBLE_EQ(u.probability(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.probability(4.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.probability(16.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.probability(20.0, 1.0), 0.0);
+}
+
+TEST(Utility, PaperOrderingThresholdGeLinearGeSqrt) {
+  // Under equal d and D the paper orders the three utilities:
+  // threshold >= linear (i) >= sqrt (ii). Check across the range.
+  const ThresholdUtility t(100.0);
+  const LinearUtility l(100.0);
+  const SqrtUtility s(100.0);
+  for (double d = 0.0; d <= 120.0; d += 1.0) {
+    const double pt = t.probability(d, 1.0);
+    const double pl = l.probability(d, 1.0);
+    const double ps = s.probability(d, 1.0);
+    EXPECT_GE(pt, pl);
+    EXPECT_GE(pl, ps);
+  }
+}
+
+TEST(Utility, AllNonIncreasing) {
+  const ThresholdUtility t(50.0);
+  const LinearUtility l(50.0);
+  const SqrtUtility s(50.0);
+  for (const UtilityFunction* u :
+       std::initializer_list<const UtilityFunction*>{&t, &l, &s}) {
+    double prev = u->probability(0.0, 1.0);
+    for (double d = 0.5; d < 70.0; d += 0.5) {
+      const double p = u->probability(d, 1.0);
+      EXPECT_LE(p, prev + 1e-12) << u->name() << " at " << d;
+      prev = p;
+    }
+  }
+}
+
+TEST(Utility, AlphaScalesEverything) {
+  const LinearUtility u(10.0);
+  for (double d = 0.0; d <= 10.0; d += 1.0) {
+    EXPECT_NEAR(u.probability(d, 0.25), 0.25 * u.probability(d, 1.0), 1e-12);
+  }
+}
+
+TEST(Utility, ZeroDetourEqualsAlpha) {
+  const ThresholdUtility t(1.0);
+  const LinearUtility l(1.0);
+  const SqrtUtility s(1.0);
+  EXPECT_DOUBLE_EQ(t.probability(0.0, 0.001), 0.001);
+  EXPECT_DOUBLE_EQ(l.probability(0.0, 0.001), 0.001);
+  EXPECT_DOUBLE_EQ(s.probability(0.0, 0.001), 0.001);
+}
+
+TEST(Utility, InfiniteDetourIsZero) {
+  const ThresholdUtility t(1.0);
+  const LinearUtility l(1.0);
+  const SqrtUtility s(1.0);
+  EXPECT_DOUBLE_EQ(t.probability(kInf, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(l.probability(kInf, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.probability(kInf, 1.0), 0.0);
+}
+
+TEST(Utility, RejectsBadArguments) {
+  const LinearUtility u(10.0);
+  EXPECT_THROW(u.probability(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(u.probability(1.0, -0.1), std::invalid_argument);
+  EXPECT_THROW(u.probability(1.0, 1.1), std::invalid_argument);
+  EXPECT_THROW(u.probability(std::nan(""), 0.5), std::invalid_argument);
+}
+
+TEST(Utility, RejectsBadRange) {
+  EXPECT_THROW(ThresholdUtility{0.0}, std::invalid_argument);
+  EXPECT_THROW(LinearUtility{-5.0}, std::invalid_argument);
+  EXPECT_THROW(SqrtUtility{kInf}, std::invalid_argument);
+}
+
+TEST(Utility, RangeAccessor) {
+  EXPECT_DOUBLE_EQ(ThresholdUtility(7.0).range(), 7.0);
+  EXPECT_DOUBLE_EQ(LinearUtility(8.0).range(), 8.0);
+  EXPECT_DOUBLE_EQ(SqrtUtility(9.0).range(), 9.0);
+}
+
+TEST(Utility, Names) {
+  EXPECT_EQ(ThresholdUtility(1.0).name(), "threshold");
+  EXPECT_EQ(LinearUtility(1.0).name(), "linear");
+  EXPECT_EQ(SqrtUtility(1.0).name(), "sqrt");
+}
+
+TEST(MakeUtility, FactoryDispatch) {
+  EXPECT_EQ(make_utility(UtilityKind::kThreshold, 5.0)->name(), "threshold");
+  EXPECT_EQ(make_utility(UtilityKind::kLinear, 5.0)->name(), "linear");
+  EXPECT_EQ(make_utility(UtilityKind::kSqrt, 5.0)->name(), "sqrt");
+  EXPECT_DOUBLE_EQ(make_utility(UtilityKind::kLinear, 5.0)->range(), 5.0);
+}
+
+}  // namespace
+}  // namespace rap::traffic

@@ -1,0 +1,124 @@
+#include "src/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rap::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"k", "value"});
+  writer.write_row({"1", "2.5"});
+  EXPECT_EQ(out.str(), "k,value\n1,2.5\n");
+}
+
+TEST(CsvWriter, EscapesInRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<double> values{1.0, 2.5};
+  writer.write_numeric_row("row", values, 3);
+  EXPECT_EQ(out.str(), "row,1,2.5\n");
+}
+
+TEST(ParseCsv, SimpleGrid) {
+  const auto rows = parse_csv("a,b\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, MissingFinalNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsv, EmptyFields) {
+  const auto rows = parse_csv("a,,b\n,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", ""}));
+}
+
+TEST(ParseCsv, QuotedFields) {
+  const auto rows = parse_csv("\"a,b\",\"c\"\"d\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c\"d"}));
+}
+
+TEST(ParseCsv, QuotedNewline) {
+  const auto rows = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+}
+
+TEST(ParseCsv, CrLfTerminators) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"abc"), std::invalid_argument);
+}
+
+TEST(ParseCsv, EmptyInputYieldsNoRows) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(ParseCsv, RoundTripsThroughWriter) {
+  const std::vector<std::vector<std::string>> rows{
+      {"plain", "with,comma", "with\"quote"},
+      {"", "multi\nline", "end"},
+  };
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const auto& row : rows) writer.write_row(row);
+  EXPECT_EQ(parse_csv(out.str()), rows);
+}
+
+TEST(WriteCsvFile, CreatesDirectoriesAndRoundTrips) {
+  const auto dir = std::filesystem::temp_directory_path() / "rap_csv_test";
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "nested" / "out.csv";
+  const std::vector<std::vector<std::string>> rows{{"a", "b"}, {"1", "2"}};
+  write_csv_file(path, rows);
+  std::ifstream in(path);
+  ASSERT_TRUE(in);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(parse_csv(buffer.str()), rows);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rap::util

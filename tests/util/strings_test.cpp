@@ -1,0 +1,62 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rap::util {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, AdjacentDelimiters) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Split, EmptyString) {
+  EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(Split, TrailingDelimiter) {
+  EXPECT_EQ(split("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(FormatFixed, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(FormatFixed, RejectsBadDecimals) {
+  EXPECT_THROW(format_fixed(1.0, -1), std::invalid_argument);
+  EXPECT_THROW(format_fixed(1.0, 18), std::invalid_argument);
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad("ab", 5), "   ab");
+  EXPECT_EQ(pad("ab", -5), "ab   ");
+  EXPECT_EQ(pad("abcdef", 3), "abcdef");  // never truncates
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-flag", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("", "a"));
+}
+
+}  // namespace
+}  // namespace rap::util
