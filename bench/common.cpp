@@ -1,8 +1,11 @@
 #include "bench/common.h"
 
 #include <iostream>
+#include <optional>
 
 #include "src/citygen/partial_grid_city.h"
+#include "src/obs/json.h"
+#include "src/obs/telemetry.h"
 #include "src/citygen/radial_city.h"
 #include "src/trace/flow_extractor.h"
 #include "src/trace/generator.h"
@@ -89,10 +92,17 @@ void run_and_report(const eval::Workload& workload,
                     const std::vector<eval::ExperimentConfig>& configs,
                     const std::filesystem::path& csv_dir) {
   for (const eval::ExperimentConfig& config : configs) {
-    const eval::ExperimentResult result = eval::run_experiment(workload, config);
-    std::cout << eval::format_table(result) << "\n";
+    obs::Telemetry telemetry;
+    std::optional<eval::ExperimentResult> result;
+    {
+      const obs::TelemetryScope scope(telemetry);
+      const obs::Span span("experiment:" + config.name);
+      result = eval::run_experiment(workload, config);
+    }
+    std::cout << eval::format_table(*result) << "\n";
     if (!csv_dir.empty()) {
-      eval::write_csv(result, csv_dir / (config.name + ".csv"));
+      eval::write_csv(*result, csv_dir / (config.name + ".csv"));
+      obs::write_json(csv_dir / (config.name + ".telemetry.json"), telemetry);
     }
   }
 }

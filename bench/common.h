@@ -34,7 +34,11 @@ struct CityWorkload {
                                          std::size_t journeys = 100);
 
 /// Runs each experiment, prints its table to stdout, and writes one CSV per
-/// experiment under `csv_dir` (skipped when empty).
+/// experiment under `csv_dir` (skipped when empty). Each run records
+/// telemetry (per-stage spans, algorithm work counters — see src/obs/) and
+/// writes it next to the CSV as `<name>.telemetry.json` in the
+/// rap.telemetry.v1 schema, so result directories carry a perf trajectory
+/// alongside the quality numbers.
 void run_and_report(const eval::Workload& workload,
                     const std::vector<eval::ExperimentConfig>& configs,
                     const std::filesystem::path& csv_dir);

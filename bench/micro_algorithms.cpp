@@ -15,6 +15,7 @@
 #include "src/graph/apsp.h"
 #include "src/graph/dijkstra.h"
 #include "src/manhattan/flexible_eval.h"
+#include "src/obs/telemetry.h"
 #include "src/traffic/utility.h"
 #include "src/util/rng.h"
 
@@ -153,6 +154,39 @@ void BM_EvaluatePlacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvaluatePlacement);
+
+// Telemetry fast path: micro_algorithms runs without a TelemetryScope, so
+// every instrumented kernel above already pays (only) this per-event cost —
+// a thread-local load and a branch. These pin the absolute number.
+void BM_DisabledTelemetryCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::add_counter("bench.noop");
+  }
+}
+BENCHMARK(BM_DisabledTelemetryCounter);
+
+void BM_DisabledTelemetrySpan(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::Span span("bench.noop");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_DisabledTelemetrySpan);
+
+// Enabled-path comparison point for BM_CompositeGreedyVsK at k = 8.
+void BM_CompositeGreedyTelemetryEnabled(benchmark::State& state) {
+  const auto net = make_city(15);
+  const auto flows = make_flows(net, 150, 3);
+  const traffic::LinearUtility utility(4'000.0);
+  const core::PlacementProblem problem(net, flows, 7, utility);
+  obs::Telemetry telemetry;
+  const obs::TelemetryScope scope(telemetry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(composite_greedy_placement(
+        problem, 8, {.stop_when_no_gain = false}));
+  }
+}
+BENCHMARK(BM_CompositeGreedyTelemetryEnabled);
 
 // Manhattan-scenario model build: per-endpoint Dijkstras + DAG reach.
 void BM_FlexibleProblemBuild(benchmark::State& state) {

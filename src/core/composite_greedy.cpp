@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/core/evaluator.h"
+#include "src/obs/telemetry.h"
 
 namespace rap::core {
 namespace {
@@ -30,24 +31,40 @@ PlacementResult run_greedy(const CoverageModel& model, std::size_t k,
   if (k == 0) {
     throw std::invalid_argument("composite_greedy_placement: k must be > 0");
   }
+  const char* const prefix = composite ? "composite_greedy" : "naive_greedy";
+  const obs::Span span(prefix);
+  std::uint64_t iterations = 0;
+  std::uint64_t evaluations = 0;
   PlacementState state(model);
   const auto n = static_cast<graph::NodeId>(model.num_nodes());
   for (std::size_t step = 0; step < k && state.placement().size() < n; ++step) {
     Candidate chosen;
     if (composite) {
-      const Candidate cover = best_candidate(
-          state, n, [&](graph::NodeId v) { return state.uncovered_gain(v); });
-      const Candidate improve = best_candidate(
-          state, n, [&](graph::NodeId v) { return state.improvement_gain(v); });
+      const Candidate cover = best_candidate(state, n, [&](graph::NodeId v) {
+        ++evaluations;
+        return state.uncovered_gain(v);
+      });
+      const Candidate improve = best_candidate(state, n, [&](graph::NodeId v) {
+        ++evaluations;
+        return state.improvement_gain(v);
+      });
       // Candidate (i) wins exact ties — it appears first in the listing.
       chosen = improve.score > cover.score ? improve : cover;
     } else {
-      chosen = best_candidate(
-          state, n, [&](graph::NodeId v) { return state.gain_if_added(v); });
+      chosen = best_candidate(state, n, [&](graph::NodeId v) {
+        ++evaluations;
+        return state.gain_if_added(v);
+      });
     }
     if (chosen.node == graph::kInvalidNode) break;
     if (chosen.score <= 0.0 && options.stop_when_no_gain) break;
     state.add(chosen.node);
+    ++iterations;
+    obs::observe("placement.selected_gain", chosen.score);
+  }
+  if (obs::ambient() != nullptr) {
+    obs::add_counter(std::string(prefix) + ".iterations", iterations);
+    obs::add_counter(std::string(prefix) + ".gain_evaluations", evaluations);
   }
   return {state.placement(), state.value()};
 }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/core/evaluator.h"
+#include "src/obs/telemetry.h"
 
 namespace rap::core {
 
@@ -12,6 +13,9 @@ PlacementResult greedy_coverage_placement(const CoverageModel& model,
   if (k == 0) {
     throw std::invalid_argument("greedy_coverage_placement: k must be > 0");
   }
+  const obs::Span span("greedy_coverage");
+  std::uint64_t iterations = 0;
+  std::uint64_t evaluations = 0;
   PlacementState state(model);
   const auto n = static_cast<graph::NodeId>(model.num_nodes());
   for (std::size_t step = 0; step < k && state.placement().size() < n; ++step) {
@@ -19,6 +23,7 @@ PlacementResult greedy_coverage_placement(const CoverageModel& model,
     double best_gain = -1.0;
     for (graph::NodeId v = 0; v < n; ++v) {
       if (state.contains(v)) continue;
+      ++evaluations;
       const double gain = state.uncovered_gain(v);
       if (gain > best_gain) {
         best_gain = gain;
@@ -28,6 +33,12 @@ PlacementResult greedy_coverage_placement(const CoverageModel& model,
     if (best == graph::kInvalidNode) break;
     if (best_gain <= 0.0 && options.stop_when_no_gain) break;
     state.add(best);
+    ++iterations;
+    obs::observe("placement.selected_gain", best_gain);
+  }
+  if (obs::ambient() != nullptr) {
+    obs::add_counter("greedy.iterations", iterations);
+    obs::add_counter("greedy.gain_evaluations", evaluations);
   }
   return {state.placement(), state.value()};
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/core/evaluator.h"
+#include "src/obs/telemetry.h"
 
 namespace rap::core {
 namespace {
@@ -14,6 +15,7 @@ PlacementResult run_lazy(const CoverageModel& model, std::size_t k,
   if (k == 0) {
     throw std::invalid_argument("lazy greedy placement: k must be > 0");
   }
+  const obs::Span span("lazy_greedy");
   PlacementState state(model);
 
   struct Entry {
@@ -50,6 +52,14 @@ PlacementResult run_lazy(const CoverageModel& model, std::size_t k,
     if (top.gain <= 0.0) break;
     state.add(top.node);
     ++selections;
+    obs::observe("placement.selected_gain", top.gain);
+  }
+  // The registry is the canonical sink; the LazyGreedyStats out-param is a
+  // per-call view of the same counts for callers without telemetry.
+  if (obs::ambient() != nullptr) {
+    obs::add_counter("lazy_greedy.gain_evaluations", local.gain_evaluations);
+    obs::add_counter("lazy_greedy.heap_pops", local.heap_pops);
+    obs::add_counter("lazy_greedy.selections", selections);
   }
   if (stats != nullptr) *stats = local;
   return {state.placement(), state.value()};

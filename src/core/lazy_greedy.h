@@ -19,6 +19,11 @@
 
 namespace rap::core {
 
+/// Per-call work counts. When ambient telemetry is installed
+/// (src/obs/telemetry.h) the same counts also accumulate on the registry as
+/// `lazy_greedy.gain_evaluations` / `lazy_greedy.heap_pops` /
+/// `lazy_greedy.selections`; this struct is the registry-free view for
+/// direct callers (benches, tests).
 struct LazyGreedyStats {
   std::size_t gain_evaluations = 0;  ///< re-evaluations performed
   std::size_t heap_pops = 0;

@@ -4,6 +4,7 @@
 
 #include "src/core/composite_greedy.h"
 #include "src/core/evaluator.h"
+#include "src/obs/telemetry.h"
 
 namespace rap::core {
 namespace {
@@ -27,10 +28,13 @@ Placement dedupe(const CoverageModel& model, const Placement& nodes) {
 LocalSearchResult local_search_improve(const CoverageModel& model,
                                        const Placement& initial,
                                        const LocalSearchOptions& options) {
+  const obs::Span span("local_search");
+  std::uint64_t candidate_evaluations = 0;
   Placement current = dedupe(model, initial);
   double current_value = evaluate_placement(model, current);
 
   LocalSearchResult result;
+  bool converged = false;
   const auto n = static_cast<graph::NodeId>(model.num_nodes());
   for (result.swaps_performed = 0; result.swaps_performed < options.max_swaps;
        ++result.swaps_performed) {
@@ -50,6 +54,7 @@ LocalSearchResult local_search_improve(const CoverageModel& model,
       }
       for (graph::NodeId v = 0; v < n; ++v) {
         if (placed[v]) continue;
+        ++candidate_evaluations;
         const double value = without.value() + without.gain_if_added(v);
         if (value > best_value + options.min_improvement) {
           best_value = value;
@@ -60,15 +65,19 @@ LocalSearchResult local_search_improve(const CoverageModel& model,
     }
 
     if (best_in == graph::kInvalidNode) {
-      result.placement = {std::move(current), current_value};
-      result.converged = true;
-      return result;
+      converged = true;
+      break;
     }
     current[best_out] = best_in;
     current_value = best_value;
   }
   result.placement = {std::move(current), current_value};
-  result.converged = false;
+  result.converged = converged;
+  if (obs::ambient() != nullptr) {
+    obs::add_counter("local_search.swaps", result.swaps_performed);
+    obs::add_counter("local_search.candidate_evaluations",
+                     candidate_evaluations);
+  }
   return result;
 }
 

@@ -46,8 +46,10 @@ RobustnessResult demand_robustness(
     out.mean = s.mean();
     out.stddev = s.stddev();
     out.stderr_mean = s.stderr_mean();
-    out.min = s.min();
-    out.max = s.max();
+    if (s.count() > 0) {  // empty accumulator min/max are ±infinity sentinels
+      out.min = s.min();
+      out.max = s.max();
+    }
     out.ci95_halfwidth = 1.96 * s.stderr_mean();
     return out;
   };

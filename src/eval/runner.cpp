@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "src/core/baselines.h"
@@ -14,6 +16,7 @@
 #include "src/geo/bbox.h"
 #include "src/manhattan/flexible_eval.h"
 #include "src/manhattan/two_stage.h"
+#include "src/obs/telemetry.h"
 #include "src/util/rng.h"
 
 namespace rap::eval {
@@ -112,23 +115,37 @@ ExperimentResult run_experiment(const Workload& workload,
   // independent (per-rep forked RNG), so they can run on worker threads;
   // accumulating in repetition order afterwards keeps results bit-identical
   // to the serial path regardless of the thread count.
+  //
+  // Telemetry follows the same pattern: when the caller has an ambient sink
+  // installed, each repetition records into a private Telemetry (worker
+  // threads never share a registry) and everything merges back in
+  // repetition order after the join.
+  obs::Telemetry* const parent_telemetry = obs::ambient();
+  std::vector<obs::Telemetry> rep_telemetry(
+      parent_telemetry != nullptr ? config.repetitions : 0);
   using RepValues = std::vector<std::vector<double>>;
   const util::Rng root(config.seed);
   const auto run_repetition = [&](std::size_t rep) {
+    std::optional<obs::TelemetryScope> telemetry_scope;
+    if (parent_telemetry != nullptr) telemetry_scope.emplace(rep_telemetry[rep]);
+    const obs::Span rep_span("repetition");
     util::Rng rng = root.fork(rep);
     const graph::NodeId shop = shop_pool[rng.next_below(shop_pool.size())];
 
     // Build the coverage model for this repetition's shop.
     std::unique_ptr<core::CoverageModel> owned;
     const manhattan::FlexibleProblem* flexible = nullptr;
-    if (config.manhattan_scenario) {
-      auto fp = std::make_unique<manhattan::FlexibleProblem>(
-          *workload.net, workload.flows, shop, *utility);
-      flexible = fp.get();
-      owned = std::move(fp);
-    } else {
-      owned = std::make_unique<core::PlacementProblem>(
-          *workload.net, workload.flows, shop, *utility, config.detour_mode);
+    {
+      const obs::Span span("model_build");
+      if (config.manhattan_scenario) {
+        auto fp = std::make_unique<manhattan::FlexibleProblem>(
+            *workload.net, workload.flows, shop, *utility);
+        flexible = fp.get();
+        owned = std::move(fp);
+      } else {
+        owned = std::make_unique<core::PlacementProblem>(
+            *workload.net, workload.flows, shop, *utility, config.detour_mode);
+      }
     }
     const core::CoverageModel& model = *owned;
     const geo::BBox region = geo::BBox::centered_square(
@@ -138,6 +155,7 @@ ExperimentResult run_experiment(const Workload& workload,
                      std::vector<double>(config.ks.size(), 0.0));
     for (std::size_t a = 0; a < config.algorithms.size(); ++a) {
       const AlgorithmId id = config.algorithms[a];
+      const obs::Span alg_span(std::string("algorithm:") + to_string(id));
       if (is_two_stage(id)) {
         const manhattan::TwoStageVariant variant =
             id == AlgorithmId::kTwoStageCorners
@@ -183,6 +201,11 @@ ExperimentResult run_experiment(const Workload& workload,
       });
     }
     for (std::thread& worker : pool) worker.join();
+  }
+  if (parent_telemetry != nullptr) {
+    // Repetition order keeps the merged histogram moments deterministic for
+    // any thread count, mirroring the value accumulation below.
+    for (const obs::Telemetry& t : rep_telemetry) parent_telemetry->merge(t);
   }
 
   // stats[alg][k_index], accumulated in repetition order.

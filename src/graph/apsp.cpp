@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "src/graph/dijkstra.h"
+#include "src/obs/telemetry.h"
 
 namespace rap::graph {
 
 DistanceMatrix all_pairs_shortest_paths(const RoadNetwork& net) {
+  const obs::Span span("apsp");
   const std::size_t n = net.num_nodes();
+  obs::add_counter("apsp.sources", n);
   DistanceMatrix out(n);
   for (NodeId source = 0; source < n; ++source) {
     const ShortestPathTree tree = dijkstra(net, source);
@@ -19,6 +22,7 @@ DistanceMatrix all_pairs_shortest_paths(const RoadNetwork& net) {
 }
 
 DistanceMatrix floyd_warshall(const RoadNetwork& net) {
+  const obs::Span span("floyd_warshall");
   const std::size_t n = net.num_nodes();
   DistanceMatrix out(n);
   for (NodeId i = 0; i < n; ++i) {

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/obs/telemetry.h"
+
 namespace rap::graph {
 namespace {
 
@@ -33,12 +35,19 @@ RunResult run(const RoadNetwork& net, NodeId source, Direction direction,
   out.parent.assign(net.num_nodes(), kInvalidNode);
   out.dist[source] = 0.0;
 
+  // Work counters stay plain locals in the loop (an increment each) and
+  // flush to the ambient telemetry once per run, so the search itself never
+  // touches the registry.
+  std::uint64_t settled = 0;
+  std::uint64_t pushes = 1;
+
   MinQueue queue;
   queue.push({0.0, source});
   while (!queue.empty()) {
     const auto [d, v] = queue.top();
     queue.pop();
     if (d > out.dist[v]) continue;  // stale entry
+    ++settled;
     if (v == target) break;
     const auto edges = direction == Direction::kForward ? net.out_edges(v)
                                                         : net.in_edges(v);
@@ -50,8 +59,14 @@ RunResult run(const RoadNetwork& net, NodeId source, Direction direction,
         out.dist[next] = candidate;
         out.parent[next] = v;
         queue.push({candidate, next});
+        ++pushes;
       }
     }
+  }
+  if (obs::ambient() != nullptr) {
+    obs::add_counter("dijkstra.runs");
+    obs::add_counter("dijkstra.nodes_settled", settled);
+    obs::add_counter("dijkstra.heap_pushes", pushes);
   }
   return out;
 }

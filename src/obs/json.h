@@ -1,0 +1,47 @@
+// Telemetry exporters: a stable JSON schema for machine consumers
+// (bench_results tooling, CI trend tracking) and an indented text tree for
+// humans (`rap_cli --verbose-timings`).
+//
+// Schema `rap.telemetry.v1`:
+//   {
+//     "schema": "rap.telemetry.v1",
+//     "trace": [ { "name", "calls", "total_ms", "self_ms",
+//                  "children": [ ...same shape... ] } ],
+//     "counters":   { "<name>": <uint> },
+//     "gauges":     { "<name>": <number> },
+//     "histograms": { "<name>": {
+//         "count", "mean", "stddev", "min", "max",
+//         "p50", "p95", "p99", "percentiles_exact",
+//         "buckets": [ { "le": <edge|null>, "count": <uint> } ] } }
+//   }
+// "trace" lists the tracer root's children in first-entered (pipeline)
+// order; maps are sorted by name. An empty histogram reports count 0 and
+// null moments/percentiles. The trailing bucket's "le" is null (overflow,
+// +inf edge). Consumers must ignore unknown keys; additions bump the
+// schema suffix only on incompatible changes.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "src/obs/telemetry.h"
+
+namespace rap::obs {
+
+/// Name of the schema emitted by to_json, also the "schema" field's value.
+inline constexpr const char* kTelemetrySchema = "rap.telemetry.v1";
+
+/// Serialises counters, gauges, histograms and the span tree.
+[[nodiscard]] std::string to_json(const Telemetry& telemetry);
+
+/// Writes to_json(telemetry) to `path`, creating parent directories.
+/// Throws std::runtime_error when the file cannot be written.
+void write_json(const std::filesystem::path& path, const Telemetry& telemetry);
+
+/// Human-readable span tree, two-space indented, one node per line:
+///   city_gen              12.3 ms  (1 call)
+///     trace_synthesis      8.1 ms  (1 call)
+/// Returns "" for an empty trace.
+[[nodiscard]] std::string format_trace_text(const Tracer& tracer);
+
+}  // namespace rap::obs

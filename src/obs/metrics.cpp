@@ -1,0 +1,94 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rap::obs {
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : upper_edges_(std::move(upper_edges)),
+      bucket_counts_(upper_edges_.size() + 1, 0) {
+  for (std::size_t i = 1; i < upper_edges_.size(); ++i) {
+    if (upper_edges_[i] <= upper_edges_[i - 1]) {
+      throw std::invalid_argument(
+          "Histogram: upper edges must be strictly increasing");
+    }
+  }
+}
+
+void Histogram::observe(double value) {
+  // First bucket whose upper edge admits the value; values above every edge
+  // land in the trailing overflow bucket.
+  const auto it =
+      std::lower_bound(upper_edges_.begin(), upper_edges_.end(), value);
+  ++bucket_counts_[static_cast<std::size_t>(it - upper_edges_.begin())];
+  stats_.add(value);
+  if (samples_.size() < kMaxRetainedSamples) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+}
+
+double Histogram::percentile(double q) const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return util::percentile_sorted(samples_, q);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (upper_edges_ != other.upper_edges_) {
+    throw std::invalid_argument("Histogram::merge: bucket edges differ");
+  }
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    bucket_counts_[i] += other.bucket_counts_[i];
+  }
+  stats_.merge(other.stats_);
+  const std::size_t room = kMaxRetainedSamples - samples_.size();
+  const std::size_t take = std::min(room, other.samples_.size());
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.begin() + static_cast<std::ptrdiff_t>(take));
+  if (take > 0) sorted_ = false;
+}
+
+std::vector<double> default_latency_edges_ms() {
+  return {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+          500.0, 1'000.0, 2'500.0, 5'000.0, 10'000.0};
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_edges) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::string(name), Histogram(std::move(upper_edges)))
+      .first->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+}  // namespace rap::obs

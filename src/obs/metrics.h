@@ -1,0 +1,149 @@
+// Named-metric registry: counters, gauges, and fixed-bucket histograms.
+//
+// The registry is the accumulation half of the observability layer
+// (src/obs/trace.h holds the timing half). It is deliberately
+// *thread-compatible* rather than thread-safe, mirroring
+// util::RunningStats: each worker owns a private registry and the owner
+// merges them afterwards, so the hot path never touches a lock. All three
+// metric kinds merge commutatively; histogram moments merge through
+// RunningStats' parallel-combine rule.
+//
+// Metrics are created on first use — `registry.counter("greedy.iterations")`
+// returns a stable reference that stays valid for the registry's lifetime —
+// so instrumentation sites need no central declaration list. Histogram
+// bucket bounds are fixed at creation; later lookups with different bounds
+// keep the original edges (merging registries with conflicting edges throws).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace rap::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value (e.g. "flows", "nodes").
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Distribution of observed samples: fixed cumulative-style buckets (counts
+/// per upper edge, plus an implicit +inf overflow bucket), streaming moments,
+/// and a capped raw-sample reservoir that feeds exact percentiles while the
+/// sample count stays small (the common case for per-stage latencies).
+class Histogram {
+ public:
+  /// `upper_edges` must be strictly increasing; may be empty (moments only).
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void observe(double value);
+
+  [[nodiscard]] std::size_t count() const noexcept { return stats_.count(); }
+  [[nodiscard]] const util::RunningStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::span<const double> upper_edges() const noexcept {
+    return upper_edges_;
+  }
+  /// Per-bucket counts; size is upper_edges().size() + 1 (last = overflow).
+  [[nodiscard]] std::span<const std::uint64_t> bucket_counts() const noexcept {
+    return bucket_counts_;
+  }
+
+  /// Exact linear-interpolated percentile over the retained samples, q in
+  /// [0, 100]. Once more than kMaxRetainedSamples values have been observed
+  /// the estimate covers the retained prefix only. Throws when empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// True while percentile() is exact (no samples were dropped).
+  [[nodiscard]] bool percentiles_exact() const noexcept {
+    return stats_.count() <= samples_.size();
+  }
+
+  /// Combines another histogram observed over disjoint events. Throws
+  /// std::invalid_argument when bucket edges differ.
+  void merge(const Histogram& other);
+
+  /// Reservoir cap; beyond it percentiles become prefix estimates.
+  static constexpr std::size_t kMaxRetainedSamples = 4096;
+
+ private:
+  std::vector<double> upper_edges_;
+  std::vector<std::uint64_t> bucket_counts_;
+  util::RunningStats stats_;
+  mutable std::vector<double> samples_;  // sorted lazily by percentile()
+  mutable bool sorted_ = true;
+};
+
+/// Default histogram edges for millisecond-scale latencies.
+[[nodiscard]] std::vector<double> default_latency_edges_ms();
+
+/// Name-keyed collection of all three metric kinds. Thread-compatible;
+/// merge per-thread instances instead of sharing one.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  /// Find-or-create. References stay valid until the registry is destroyed
+  /// (metrics are never removed).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_edges` applies on creation only; pass empty to accept whatever
+  /// edges the metric already has (or a moments-only histogram when new).
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_edges = {});
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Sorted-by-name views for exporters.
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+  /// Adds counters, overwrites gauges with `other`'s value when set there,
+  /// and merges histograms bucket-wise. Metrics unknown here are created.
+  void merge(const MetricsRegistry& other);
+
+ private:
+  // std::map nodes are address-stable, so returned references survive
+  // later insertions.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace rap::obs

@@ -1,0 +1,22 @@
+#include "src/obs/telemetry.h"
+
+namespace rap::obs {
+namespace {
+
+thread_local Telemetry* g_ambient = nullptr;
+
+}  // namespace
+
+Telemetry* ambient() noexcept { return g_ambient; }
+
+TelemetryScope::TelemetryScope(Telemetry& telemetry) noexcept
+    : previous_(g_ambient) {
+  g_ambient = &telemetry;
+}
+
+TelemetryScope::~TelemetryScope() { g_ambient = previous_; }
+
+Span::Span(std::string_view name)
+    : Span(g_ambient != nullptr ? &g_ambient->trace : nullptr, name) {}
+
+}  // namespace rap::obs

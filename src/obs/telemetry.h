@@ -1,0 +1,79 @@
+// Ambient telemetry: one MetricsRegistry + Tracer bundle, installed per
+// thread, so deep library code (greedy kernels, Dijkstra) can record
+// counters and spans without threading an instrumentation handle through
+// every signature.
+//
+//   obs::Telemetry telemetry;
+//   {
+//     obs::TelemetryScope scope(telemetry);        // this thread only
+//     run_pipeline();                              // spans/counters record
+//   }
+//   std::cout << obs::to_json(telemetry);          // src/obs/json.h
+//
+// When no scope is installed (the default), every helper below is a
+// thread-local pointer load plus a branch — cheap enough to leave in
+// release-built hot loops. Kernels with per-iteration events accumulate in
+// plain locals and flush once per call (see core/lazy_greedy.cpp), keeping
+// even the enabled path off the map-lookup hot path.
+//
+// Worker threads do not inherit the installer's telemetry: give each worker
+// its own Telemetry + scope and Telemetry::merge the results in a
+// deterministic order (see eval/runner.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace rap::obs {
+
+/// The full telemetry state of one pipeline run.
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer trace;
+
+  void merge(const Telemetry& other) {
+    metrics.merge(other.metrics);
+    trace.merge(other.trace);
+  }
+};
+
+/// Telemetry installed on the current thread, or nullptr.
+[[nodiscard]] Telemetry* ambient() noexcept;
+
+/// Installs `telemetry` as the current thread's ambient sink for the scope's
+/// lifetime; restores the previous sink (scopes nest).
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(Telemetry& telemetry) noexcept;
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  Telemetry* previous_;
+};
+
+/// Adds to a named ambient counter; no-op without an installed scope.
+inline void add_counter(std::string_view name, std::uint64_t n = 1) {
+  if (Telemetry* t = ambient(); t != nullptr) t->metrics.counter(name).add(n);
+}
+
+/// Sets a named ambient gauge; no-op without an installed scope.
+inline void set_gauge(std::string_view name, double value) {
+  if (Telemetry* t = ambient(); t != nullptr) t->metrics.gauge(name).set(value);
+}
+
+/// Observes into a named ambient histogram; no-op without an installed
+/// scope. `upper_edges` applies only when the histogram does not exist yet.
+inline void observe(std::string_view name, double value,
+                    std::vector<double> upper_edges = {}) {
+  if (Telemetry* t = ambient(); t != nullptr) {
+    t->metrics.histogram(name, std::move(upper_edges)).observe(value);
+  }
+}
+
+}  // namespace rap::obs

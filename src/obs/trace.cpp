@@ -1,0 +1,91 @@
+#include "src/obs/trace.h"
+
+#include <stdexcept>
+
+namespace rap::obs {
+namespace {
+
+Tracer::Node* find_child(Tracer::Node& parent, std::string_view name) {
+  for (const auto& child : parent.children) {
+    if (child->name == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<Tracer::Node> deep_copy(const Tracer::Node& node) {
+  auto copy = std::make_unique<Tracer::Node>();
+  copy->name = node.name;
+  copy->calls = node.calls;
+  copy->total_ns = node.total_ns;
+  copy->children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    copy->children.push_back(deep_copy(*child));
+  }
+  return copy;
+}
+
+void merge_into(Tracer::Node& into, const Tracer::Node& from) {
+  into.calls += from.calls;
+  into.total_ns += from.total_ns;
+  for (const auto& child : from.children) {
+    Tracer::Node* mine = find_child(into, child->name);
+    if (mine == nullptr) {
+      into.children.push_back(deep_copy(*child));
+    } else {
+      merge_into(*mine, *child);
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t Tracer::Node::self_ns() const noexcept {
+  std::uint64_t child_ns = 0;
+  for (const auto& child : children) child_ns += child->total_ns;
+  return child_ns > total_ns ? 0 : total_ns - child_ns;
+}
+
+Tracer::Tracer() : root_(std::make_unique<Node>()) {
+  root_->name = "root";
+  open_.push_back(root_.get());
+}
+
+void Tracer::merge(const Tracer& other) {
+  if (other.open_.size() != 1) {
+    throw std::logic_error("Tracer::merge: source has open spans outstanding");
+  }
+  // Graft under the innermost open span (the root when none is open): a
+  // worker's whole tree happened "inside" whatever this tracer is currently
+  // timing, e.g. repetitions under an experiment:<name> span.
+  Node& attach = *open_.back();
+  for (const auto& child : other.root_->children) {
+    Node* mine = find_child(attach, child->name);
+    if (mine == nullptr) {
+      attach.children.push_back(deep_copy(*child));
+    } else {
+      merge_into(*mine, *child);
+    }
+  }
+}
+
+Tracer::Node* Tracer::enter(std::string_view name) {
+  Node* parent = open_.back();
+  Node* node = find_child(*parent, name);
+  if (node == nullptr) {
+    parent->children.push_back(std::make_unique<Node>());
+    node = parent->children.back().get();
+    node->name = std::string(name);
+  }
+  open_.push_back(node);
+  return node;
+}
+
+void Tracer::exit(Node* node, std::uint64_t elapsed_ns) noexcept {
+  node->calls += 1;
+  node->total_ns += elapsed_ns;
+  // Spans are RAII-scoped so destruction order is LIFO; a mismatch would be
+  // a bug in this file, not at the call site.
+  if (open_.size() > 1 && open_.back() == node) open_.pop_back();
+}
+
+}  // namespace rap::obs

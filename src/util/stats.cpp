@@ -7,13 +7,9 @@
 namespace rap::util {
 
 void RunningStats::add(double value) noexcept {
-  if (count_ == 0) {
-    min_ = value;
-    max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
-  }
+  // min_/max_ start at the fold identities (±infinity), so no empty branch.
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
   ++count_;
   const double delta = value - mean_;
   mean_ += delta / static_cast<double>(count_);
@@ -56,19 +52,25 @@ Summary summarize(std::span<const double> samples) noexcept {
   out.mean = acc.mean();
   out.stddev = acc.stddev();
   out.stderr_mean = acc.stderr_mean();
-  out.min = acc.min();
-  out.max = acc.max();
+  if (acc.count() > 0) {  // keep the documented 0-when-empty Summary fields
+    out.min = acc.min();
+    out.max = acc.max();
+  }
   out.ci95_halfwidth = 1.96 * acc.stderr_mean();
   return out;
 }
 
 double percentile(std::span<const double> samples, double q) {
-  if (samples.empty()) throw std::invalid_argument("percentile: empty input");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("percentile: empty input");
   if (q < 0.0 || q > 100.0) {
     throw std::invalid_argument("percentile: q must be in [0, 100]");
   }
-  std::vector<double> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end());
   const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

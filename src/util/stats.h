@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -23,7 +24,10 @@ class RunningStats {
   [[nodiscard]] double stddev() const noexcept;
   /// Standard error of the mean; 0 with fewer than two samples.
   [[nodiscard]] double stderr_mean() const noexcept;
+  /// Smallest observed sample; +infinity when empty (the identity of min,
+  /// so merge() and comparisons work without a count() guard).
   [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observed sample; -infinity when empty.
   [[nodiscard]] double max() const noexcept { return max_; }
 
   /// Merges another accumulator (parallel-combine rule).
@@ -33,8 +37,8 @@ class RunningStats {
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Point summary of a sample set.
@@ -55,6 +59,13 @@ struct Summary {
 /// Linear-interpolated percentile, q in [0, 100]. Throws on empty input or
 /// out-of-range q. The input need not be sorted (a sorted copy is made).
 [[nodiscard]] double percentile(std::span<const double> samples, double q);
+
+/// Same as percentile() but requires `sorted` to be ascending already and
+/// makes no copy — for repeated queries over one sample set (e.g. the
+/// telemetry histogram exporter's p50/p95/p99). Unsorted input gives an
+/// unspecified (but in-range) value; validation stays on q and emptiness.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
 
 /// Arithmetic mean; throws on empty input.
 [[nodiscard]] double mean_of(std::span<const double> samples);

@@ -1,0 +1,175 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace rap::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAdds) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  // One observation per region: (-inf,1], (1,2], (2,4], (4,inf).
+  h.observe(0.5);
+  h.observe(1.0);  // exactly on an edge -> that edge's bucket
+  h.observe(1.5);
+  h.observe(4.0);
+  h.observe(5.0);  // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.stats().min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 5.0);
+}
+
+TEST(HistogramTest, NoEdgesMeansSingleOverflowBucket) {
+  Histogram h({});
+  h.observe(3.0);
+  ASSERT_EQ(h.bucket_counts().size(), 1u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingEdges) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, PercentilesFromRetainedSamples) {
+  Histogram h({10.0});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_TRUE(h.percentiles_exact());
+  EXPECT_NEAR(h.percentile(50.0), 50.5, 1e-12);
+  EXPECT_NEAR(h.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.percentile(100.0), 100.0, 1e-12);
+  EXPECT_THROW(h.percentile(101.0), std::invalid_argument);
+  EXPECT_THROW(Histogram({}).percentile(50.0), std::invalid_argument);
+}
+
+TEST(HistogramTest, ReservoirCapsAndFlagsInexactPercentiles) {
+  Histogram h({});
+  for (std::size_t i = 0; i <= Histogram::kMaxRetainedSamples; ++i) {
+    h.observe(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.count(), Histogram::kMaxRetainedSamples + 1);
+  EXPECT_FALSE(h.percentiles_exact());
+  // Still answers, over the retained prefix.
+  EXPECT_GE(h.percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndMoments) {
+  Histogram a({2.0});
+  Histogram b({2.0});
+  a.observe(1.0);
+  b.observe(3.0);
+  b.observe(1.5);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_counts()[0], 2u);
+  EXPECT_EQ(a.bucket_counts()[1], 1u);
+  EXPECT_DOUBLE_EQ(a.stats().min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.stats().max(), 3.0);
+  EXPECT_NEAR(a.percentile(50.0), 1.5, 1e-12);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedEdges) {
+  Histogram a({1.0});
+  Histogram b({2.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableMetrics) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("x");
+  c.add(3);
+  registry.counter("y").add(1);  // later insertions must not invalidate c
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+  EXPECT_EQ(&registry.counter("x"), &c);
+  EXPECT_FALSE(registry.empty());
+}
+
+TEST(MetricsRegistryTest, HistogramEdgesFixedAtCreation) {
+  MetricsRegistry registry;
+  registry.histogram("h", {1.0, 2.0});
+  // A second lookup with different edges keeps the original ones.
+  EXPECT_EQ(registry.histogram("h", {5.0}).upper_edges().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, MergeCombinesAllKinds) {
+  MetricsRegistry a;
+  a.counter("shared").add(1);
+  a.gauge("g").set(1.0);
+  a.histogram("h", {10.0}).observe(1.0);
+
+  MetricsRegistry b;
+  b.counter("shared").add(2);
+  b.counter("only_b").add(7);
+  b.gauge("g").set(5.0);
+  b.histogram("h", {10.0}).observe(2.0);
+  b.histogram("h2", {}).observe(3.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("shared").value(), 3u);
+  EXPECT_EQ(a.counters().at("only_b").value(), 7u);
+  EXPECT_EQ(a.gauges().at("g").value(), 5.0);  // gauges overwrite
+  EXPECT_EQ(a.histograms().at("h").count(), 2u);
+  EXPECT_EQ(a.histograms().at("h2").count(), 1u);
+}
+
+TEST(MetricsRegistryTest, MergeMatchesSequentialObservation) {
+  // The registry must merge like RunningStats: split stream == full stream.
+  MetricsRegistry whole;
+  MetricsRegistry left;
+  MetricsRegistry right;
+  const std::vector<double> data{1.0, 8.0, 2.5, -3.0, 7.5, 0.5};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    whole.histogram("h", {0.0, 5.0}).observe(data[i]);
+    (i < 3 ? left : right).histogram("h", {0.0, 5.0}).observe(data[i]);
+  }
+  left.merge(right);
+  const Histogram& merged = left.histograms().at("h");
+  const Histogram& full = whole.histograms().at("h");
+  EXPECT_EQ(merged.count(), full.count());
+  EXPECT_NEAR(merged.stats().mean(), full.stats().mean(), 1e-12);
+  EXPECT_NEAR(merged.stats().variance(), full.stats().variance(), 1e-12);
+  for (std::size_t i = 0; i < full.bucket_counts().size(); ++i) {
+    EXPECT_EQ(merged.bucket_counts()[i], full.bucket_counts()[i]);
+  }
+  EXPECT_DOUBLE_EQ(merged.percentile(50.0), full.percentile(50.0));
+}
+
+TEST(DefaultLatencyEdges, StrictlyIncreasing) {
+  const std::vector<double> edges = default_latency_edges_ms();
+  ASSERT_FALSE(edges.empty());
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]);
+  }
+  // Must construct a valid histogram.
+  Histogram h(edges);
+  h.observe(0.3);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace rap::obs

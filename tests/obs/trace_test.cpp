@@ -1,0 +1,183 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/obs/telemetry.h"
+
+namespace rap::obs {
+namespace {
+
+TEST(TracerTest, StartsEmpty) {
+  const Tracer tracer;
+  EXPECT_TRUE(tracer.empty());
+  EXPECT_EQ(tracer.root().children.size(), 0u);
+  EXPECT_EQ(tracer.root().calls, 0u);
+}
+
+TEST(TracerTest, SpansNestByScope) {
+  Tracer tracer;
+  {
+    const Span outer(&tracer, "pipeline");
+    { const Span inner(&tracer, "stage_a"); }
+    { const Span inner(&tracer, "stage_b"); }
+  }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  const Tracer::Node& pipeline = *tracer.root().children[0];
+  EXPECT_EQ(pipeline.name, "pipeline");
+  EXPECT_EQ(pipeline.calls, 1u);
+  ASSERT_EQ(pipeline.children.size(), 2u);
+  EXPECT_EQ(pipeline.children[0]->name, "stage_a");
+  EXPECT_EQ(pipeline.children[1]->name, "stage_b");
+}
+
+TEST(TracerTest, RepeatedSpansAccumulateOnOneNode) {
+  Tracer tracer;
+  for (int i = 0; i < 3; ++i) {
+    const Span span(&tracer, "loop_stage");
+  }
+  ASSERT_EQ(tracer.root().children.size(), 1u);
+  EXPECT_EQ(tracer.root().children[0]->calls, 3u);
+}
+
+TEST(TracerTest, ChildrenKeepFirstEnteredOrder) {
+  Tracer tracer;
+  { const Span s(&tracer, "b"); }
+  { const Span s(&tracer, "a"); }
+  { const Span s(&tracer, "b"); }  // reuses, does not reorder
+  ASSERT_EQ(tracer.root().children.size(), 2u);
+  EXPECT_EQ(tracer.root().children[0]->name, "b");
+  EXPECT_EQ(tracer.root().children[1]->name, "a");
+  EXPECT_EQ(tracer.root().children[0]->calls, 2u);
+}
+
+TEST(TracerTest, ParentTimeCoversChildren) {
+  Tracer tracer;
+  {
+    const Span outer(&tracer, "outer");
+    { const Span inner(&tracer, "inner"); }
+  }
+  const Tracer::Node& outer = *tracer.root().children[0];
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_GE(outer.total_ns, outer.children[0]->total_ns);
+  EXPECT_EQ(outer.self_ns(), outer.total_ns - outer.children[0]->total_ns);
+}
+
+TEST(TracerTest, NullTracerSpanIsInert) {
+  const Span span(nullptr, "nothing");  // must not crash or allocate a tree
+  SUCCEED();
+}
+
+TEST(TracerTest, AmbientSpanWithoutScopeIsInert) {
+  ASSERT_EQ(ambient(), nullptr);
+  const Span span("orphan");
+  SUCCEED();
+}
+
+TEST(TracerTest, AmbientSpanRecordsUnderScope) {
+  Telemetry telemetry;
+  {
+    const TelemetryScope scope(telemetry);
+    const Span span("stage");
+  }
+  ASSERT_EQ(telemetry.trace.root().children.size(), 1u);
+  EXPECT_EQ(telemetry.trace.root().children[0]->name, "stage");
+  EXPECT_EQ(ambient(), nullptr);  // scope restored
+}
+
+TEST(TracerTest, ScopesNestAndRestore) {
+  Telemetry outer_t;
+  Telemetry inner_t;
+  {
+    const TelemetryScope outer(outer_t);
+    {
+      const TelemetryScope inner(inner_t);
+      add_counter("c");
+    }
+    add_counter("c");
+  }
+  EXPECT_EQ(inner_t.metrics.counters().at("c").value(), 1u);
+  EXPECT_EQ(outer_t.metrics.counters().at("c").value(), 1u);
+}
+
+TEST(TracerTest, MergeAddsMatchingNodesAndAppendsNew) {
+  Tracer a;
+  {
+    const Span s(&a, "shared");
+    { const Span c(&a, "child_a"); }
+  }
+  Tracer b;
+  {
+    const Span s(&b, "shared");
+    { const Span c(&b, "child_b"); }
+  }
+  { const Span s(&b, "only_b"); }
+
+  a.merge(b);
+  ASSERT_EQ(a.root().children.size(), 2u);
+  const Tracer::Node& shared = *a.root().children[0];
+  EXPECT_EQ(shared.name, "shared");
+  EXPECT_EQ(shared.calls, 2u);
+  ASSERT_EQ(shared.children.size(), 2u);
+  EXPECT_EQ(shared.children[0]->name, "child_a");
+  EXPECT_EQ(shared.children[1]->name, "child_b");
+  EXPECT_EQ(a.root().children[1]->name, "only_b");
+  // b is untouched.
+  EXPECT_EQ(b.root().children.size(), 2u);
+}
+
+TEST(TracerTest, MergeRejectsSourceWithOpenSpan) {
+  Tracer a;
+  Tracer b;
+  const Span open(&a, "still_running");
+  EXPECT_THROW(b.merge(a), std::logic_error);
+}
+
+TEST(TracerTest, MergeUnderOpenSpanNestsThere) {
+  // The experiment runner merges worker tracers while the caller's enclosing
+  // span (e.g. bench/common's experiment:<name>) is still open; the worker
+  // tree must land inside it, not at the root.
+  Tracer worker;
+  { const Span s(&worker, "repetition"); }
+
+  Tracer parent;
+  {
+    const Span enclosing(&parent, "experiment");
+    parent.merge(worker);
+  }
+  ASSERT_EQ(parent.root().children.size(), 1u);
+  const Tracer::Node& experiment = *parent.root().children[0];
+  EXPECT_EQ(experiment.name, "experiment");
+  ASSERT_EQ(experiment.children.size(), 1u);
+  EXPECT_EQ(experiment.children[0]->name, "repetition");
+}
+
+TEST(TracerTest, TelemetryMergeCombinesMetricsAndTrace) {
+  Telemetry a;
+  Telemetry b;
+  {
+    const TelemetryScope scope(a);
+    const Span s("stage");
+    add_counter("events", 2);
+  }
+  {
+    const TelemetryScope scope(b);
+    const Span s("stage");
+    add_counter("events", 3);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.metrics.counters().at("events").value(), 5u);
+  EXPECT_EQ(a.trace.root().children[0]->calls, 2u);
+}
+
+TEST(TracerTest, AmbientHelpersAreNoOpsWithoutScope) {
+  ASSERT_EQ(ambient(), nullptr);
+  add_counter("never");
+  set_gauge("never", 1.0);
+  observe("never", 1.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rap::obs

@@ -83,6 +83,24 @@ TEST(CliFlags, UnusedReportsUnqueriedFlags) {
   EXPECT_EQ(flags.unused(), std::vector<std::string>{"typo"});
 }
 
+TEST(CliFlags, RapCliObservabilityFlags) {
+  // The exact spellings rap_cli documents: --quiet and --verbose-timings are
+  // bare booleans, --metrics-out takes a path value.
+  const CliFlags flags(
+      {"--quiet", "--verbose-timings", "--metrics-out=telemetry.json"});
+  EXPECT_TRUE(flags.get_bool("quiet", false));
+  EXPECT_TRUE(flags.get_bool("verbose-timings", false));
+  EXPECT_EQ(flags.get_string("metrics-out", ""), "telemetry.json");
+  EXPECT_TRUE(flags.unused().empty());
+}
+
+TEST(CliFlags, ObservabilityFlagsDefaultOff) {
+  const CliFlags flags(std::vector<std::string>{});
+  EXPECT_FALSE(flags.get_bool("quiet", false));
+  EXPECT_FALSE(flags.get_bool("verbose-timings", false));
+  EXPECT_EQ(flags.get_string("metrics-out", ""), "");
+}
+
 TEST(CliFlags, ArgcArgvConstructor) {
   const char* argv[] = {"prog", "--reps=7"};
   const CliFlags flags(2, argv);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace rap::util {
@@ -14,6 +16,14 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
   EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, EmptyMinMaxAreFoldIdentities) {
+  // Sentinels, not 0: an empty accumulator must be a no-op when merged and
+  // must never shadow real samples in min/max comparisons.
+  const RunningStats s;
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
 }
 
 TEST(RunningStats, SingleValue) {
@@ -73,6 +83,34 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyPreservesMinMax) {
+  RunningStats a;
+  a.add(-2.0);
+  a.add(6.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  RunningStats other;
+  other.merge(a);
+  EXPECT_DOUBLE_EQ(other.min(), -2.0);
+  EXPECT_DOUBLE_EQ(other.max(), 6.0);
+}
+
+TEST(RunningStats, MergeDisjointRanges) {
+  RunningStats low;
+  low.add(1.0);
+  low.add(2.0);
+  RunningStats high;
+  high.add(10.0);
+  high.add(20.0);
+  low.merge(high);
+  EXPECT_EQ(low.count(), 4u);
+  EXPECT_DOUBLE_EQ(low.min(), 1.0);
+  EXPECT_DOUBLE_EQ(low.max(), 20.0);
+  EXPECT_DOUBLE_EQ(low.mean(), 8.25);
+}
+
 TEST(RunningStats, NumericallyStableOnLargeOffset) {
   RunningStats s;
   for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
@@ -114,6 +152,24 @@ TEST(Percentile, Validation) {
   EXPECT_THROW(percentile(empty, 50.0), std::invalid_argument);
   EXPECT_THROW(percentile(one, -1.0), std::invalid_argument);
   EXPECT_THROW(percentile(one, 101.0), std::invalid_argument);
+}
+
+TEST(PercentileSorted, AgreesWithPercentile) {
+  const std::vector<double> unsorted{5.0, 1.0, 9.0, 3.0, 7.0};
+  std::vector<double> sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 12.5, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(sorted, q), percentile(unsorted, q))
+        << "q=" << q;
+  }
+}
+
+TEST(PercentileSorted, Validation) {
+  const std::vector<double> empty;
+  const std::vector<double> one{1.0};
+  EXPECT_THROW(percentile_sorted(empty, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile_sorted(one, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile_sorted(one, 101.0), std::invalid_argument);
 }
 
 TEST(MeanOf, Basic) {

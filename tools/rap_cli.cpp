@@ -25,7 +25,14 @@
 //               maxvehicles|random                 (default alg2)
 //   --k=N                        number of RAPs
 //   --save-network --save-flows --geojson          outputs
+//   --metrics-out=PATH           telemetry JSON (schema rap.telemetry.v1):
+//                                per-stage spans, algorithm counters,
+//                                histogram percentiles
+//   --verbose-timings            print the span tree after the run
+//   --quiet                      suppress the narrative report (machine
+//                                consumers read --metrics-out / --geojson)
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "src/citygen/grid_city.h"
@@ -38,6 +45,8 @@
 #include "src/core/local_search.h"
 #include "src/eval/geojson.h"
 #include "src/graph/io.h"
+#include "src/obs/json.h"
+#include "src/obs/telemetry.h"
 #include "src/trace/classify.h"
 #include "src/trace/flow_extractor.h"
 #include "src/trace/generator.h"
@@ -62,45 +71,56 @@ Inputs generate_city(const std::string& kind, std::uint64_t seed,
   spec.num_journeys = journeys;
   spec.alpha = 0.001;
   double snap_radius = 0.0;
-  if (kind == "dublin") {
-    citygen::RadialSpec city;
-    city.rings = 12;
-    city.nodes_on_first_ring = 8;
-    city.nodes_per_ring_step = 5;
-    city.ring_spacing = 3'300.0;
-    inputs.net = citygen::build_radial_city(city, rng);
-    spec.mean_runs_per_journey = 40.0;
-    spec.sample_spacing = 900.0;
-    spec.gps_noise = 150.0;
-    spec.passengers_per_vehicle = 100.0;
-    snap_radius = 450.0;
-  } else if (kind == "seattle") {
-    citygen::PartialGridSpec city;
-    city.grid = {21, 21, 500.0, {0.0, 0.0}};
-    const citygen::PartialGridCity built(city, rng);
-    inputs.net = built.network();
-    spec.mean_runs_per_journey = 30.0;
-    spec.sample_spacing = 350.0;
-    spec.gps_noise = 60.0;
-    spec.passengers_per_vehicle = 200.0;
-    snap_radius = 230.0;
-  } else if (kind == "grid") {
-    inputs.net = citygen::GridCity({15, 15, 500.0, {0.0, 0.0}}).network();
-    spec.mean_runs_per_journey = 30.0;
-    spec.sample_spacing = 350.0;
-    spec.gps_noise = 60.0;
-    spec.passengers_per_vehicle = 200.0;
-    snap_radius = 230.0;
-  } else {
-    throw std::invalid_argument("unknown --city '" + kind +
-                                "' (dublin|seattle|grid)");
+  {
+    const obs::Span span("city_gen");
+    if (kind == "dublin") {
+      citygen::RadialSpec city;
+      city.rings = 12;
+      city.nodes_on_first_ring = 8;
+      city.nodes_per_ring_step = 5;
+      city.ring_spacing = 3'300.0;
+      inputs.net = citygen::build_radial_city(city, rng);
+      spec.mean_runs_per_journey = 40.0;
+      spec.sample_spacing = 900.0;
+      spec.gps_noise = 150.0;
+      spec.passengers_per_vehicle = 100.0;
+      snap_radius = 450.0;
+    } else if (kind == "seattle") {
+      citygen::PartialGridSpec city;
+      city.grid = {21, 21, 500.0, {0.0, 0.0}};
+      const citygen::PartialGridCity built(city, rng);
+      inputs.net = built.network();
+      spec.mean_runs_per_journey = 30.0;
+      spec.sample_spacing = 350.0;
+      spec.gps_noise = 60.0;
+      spec.passengers_per_vehicle = 200.0;
+      snap_radius = 230.0;
+    } else if (kind == "grid") {
+      inputs.net = citygen::GridCity({15, 15, 500.0, {0.0, 0.0}}).network();
+      spec.mean_runs_per_journey = 30.0;
+      spec.sample_spacing = 350.0;
+      spec.gps_noise = 60.0;
+      spec.passengers_per_vehicle = 200.0;
+      snap_radius = 230.0;
+    } else {
+      throw std::invalid_argument("unknown --city '" + kind +
+                                  "' (dublin|seattle|grid)");
+    }
   }
-  const trace::SyntheticTrace day = trace::generate_trace(inputs.net, spec, rng);
-  const trace::MapMatcher matcher(inputs.net, snap_radius);
-  trace::ExtractionOptions extract;
-  extract.passengers_per_vehicle = spec.passengers_per_vehicle;
-  extract.alpha = spec.alpha;
-  inputs.flows = trace::extract_flows(matcher, day.records, extract);
+  std::optional<trace::SyntheticTrace> day;
+  {
+    const obs::Span span("trace_synthesis");
+    day = trace::generate_trace(inputs.net, spec, rng);
+    obs::add_counter("trace.records", day->records.size());
+  }
+  {
+    const obs::Span span("flow_extraction");
+    const trace::MapMatcher matcher(inputs.net, snap_radius);
+    trace::ExtractionOptions extract;
+    extract.passengers_per_vehicle = spec.passengers_per_vehicle;
+    extract.alpha = spec.alpha;
+    inputs.flows = trace::extract_flows(matcher, day->records, extract);
+  }
   return inputs;
 }
 
@@ -122,6 +142,7 @@ graph::NodeId pick_shop(const Inputs& inputs, const util::CliFlags& flags,
   } else {
     throw std::invalid_argument("unknown --shop-class '" + wanted + "'");
   }
+  const obs::Span span("classify");
   const auto classes = trace::classify_intersections(inputs.net, inputs.flows);
   const auto pool = trace::nodes_in_class(classes, cls);
   if (pool.empty()) {
@@ -152,9 +173,22 @@ int main(int argc, char** argv) {
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     util::Rng rng(seed ^ 0x5eed);
 
+    const bool quiet = flags.get_bool("quiet", false);
+    const bool verbose_timings = flags.get_bool("verbose-timings", false);
+    const std::string metrics_out = flags.get_string("metrics-out", "");
+
+    // Telemetry records only when some consumer asked for it; otherwise all
+    // instrumentation below stays on its disabled fast path.
+    obs::Telemetry telemetry;
+    std::optional<obs::TelemetryScope> telemetry_scope;
+    if (!metrics_out.empty() || verbose_timings) {
+      telemetry_scope.emplace(telemetry);
+    }
+
     // 1. Inputs: load or generate.
     Inputs inputs;
     if (flags.has("network")) {
+      const obs::Span span("load_inputs");
       inputs.net = graph::read_network_csv(flags.get_string("network", ""));
       if (!flags.has("flows")) {
         throw std::invalid_argument("--network requires --flows");
@@ -166,11 +200,20 @@ int main(int argc, char** argv) {
           flags.get_string("city", "seattle"), seed,
           static_cast<std::size_t>(flags.get_int("journeys", 100)));
     }
-    std::cout << "city: " << inputs.net.num_nodes() << " intersections, "
-              << inputs.net.num_edges() << " directed streets, "
-              << inputs.flows.size() << " flows ("
-              << util::format_fixed(traffic::total_population(inputs.flows), 0)
-              << " potential customers)\n";
+    obs::set_gauge("city.nodes", static_cast<double>(inputs.net.num_nodes()));
+    obs::set_gauge("city.edges", static_cast<double>(inputs.net.num_edges()));
+    obs::set_gauge("traffic.flows", static_cast<double>(inputs.flows.size()));
+    for (const traffic::TrafficFlow& flow : inputs.flows) {
+      obs::observe("flow.population", flow.population());
+    }
+    if (!quiet) {
+      std::cout << "city: " << inputs.net.num_nodes() << " intersections, "
+                << inputs.net.num_edges() << " directed streets, "
+                << inputs.flows.size() << " flows ("
+                << util::format_fixed(traffic::total_population(inputs.flows),
+                                      0)
+                << " potential customers)\n";
+    }
 
     // 2. Driver model + shop.
     const std::string utility_name = flags.get_string("utility", "linear");
@@ -187,25 +230,35 @@ int main(int argc, char** argv) {
     const auto utility =
         traffic::make_utility(kind, flags.get_double("d", 2'500.0));
     const graph::NodeId shop = pick_shop(inputs, flags, rng);
-    std::cout << "shop at intersection " << shop << " ("
-              << trace::to_string(trace::classify_intersections(
-                     inputs.net, inputs.flows)[shop])
-              << " class), utility=" << utility->name()
-              << " D=" << util::format_fixed(utility->range(), 0) << " ft\n";
+    if (!quiet) {
+      std::cout << "shop at intersection " << shop << " ("
+                << trace::to_string(trace::classify_intersections(
+                       inputs.net, inputs.flows)[shop])
+                << " class), utility=" << utility->name()
+                << " D=" << util::format_fixed(utility->range(), 0) << " ft\n";
+    }
 
     // 3. Place.
-    const core::PlacementProblem problem(inputs.net, inputs.flows, shop,
-                                         *utility);
+    std::optional<core::PlacementProblem> problem;
+    {
+      const obs::Span span("model_build");
+      problem.emplace(inputs.net, inputs.flows, shop, *utility);
+    }
     const auto k = static_cast<std::size_t>(flags.get_int("k", 5));
     const std::string algorithm = flags.get_string("algorithm", "alg2");
-    const core::PlacementResult result =
-        run_algorithm(algorithm, problem, k, rng);
-    std::cout << algorithm << " placed " << result.nodes.size()
-              << " RAPs attracting "
-              << util::format_fixed(result.customers, 1)
-              << " expected customers/day\n  intersections:";
-    for (const graph::NodeId v : result.nodes) std::cout << " " << v;
-    std::cout << "\n";
+    std::optional<core::PlacementResult> result;
+    {
+      const obs::Span span("placement");
+      result = run_algorithm(algorithm, *problem, k, rng);
+    }
+    if (!quiet) {
+      std::cout << algorithm << " placed " << result->nodes.size()
+                << " RAPs attracting "
+                << util::format_fixed(result->customers, 1)
+                << " expected customers/day\n  intersections:";
+      for (const graph::NodeId v : result->nodes) std::cout << " " << v;
+      std::cout << "\n";
+    }
 
     // 4. Optional outputs.
     if (flags.has("save-network")) {
@@ -216,9 +269,18 @@ int main(int argc, char** argv) {
     }
     if (flags.has("geojson")) {
       eval::write_geojson(flags.get_string("geojson", ""), inputs.net,
-                          inputs.flows, shop, result.nodes);
-      std::cout << "wrote scenario to " << flags.get_string("geojson", "")
-                << "\n";
+                          inputs.flows, shop, result->nodes);
+      if (!quiet) {
+        std::cout << "wrote scenario to " << flags.get_string("geojson", "")
+                  << "\n";
+      }
+    }
+    if (verbose_timings) {
+      std::cout << obs::format_trace_text(telemetry.trace);
+    }
+    if (!metrics_out.empty()) {
+      obs::write_json(metrics_out, telemetry);
+      if (!quiet) std::cout << "wrote telemetry to " << metrics_out << "\n";
     }
     for (const std::string& unknown : flags.unused()) {
       std::cerr << "warning: unused flag --" << unknown << "\n";
