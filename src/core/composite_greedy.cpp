@@ -3,27 +3,11 @@
 #include <stdexcept>
 
 #include "src/core/evaluator.h"
+#include "src/core/parallel_scan.h"
 #include "src/obs/telemetry.h"
 
 namespace rap::core {
 namespace {
-
-struct Candidate {
-  graph::NodeId node = graph::kInvalidNode;
-  double score = -1.0;
-};
-
-template <typename ScoreFn>
-Candidate best_candidate(const PlacementState& state, graph::NodeId n,
-                         ScoreFn&& score_of) {
-  Candidate best;
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (state.contains(v)) continue;
-    const double score = score_of(v);
-    if (score > best.score) best = {v, score};
-  }
-  return best;
-}
 
 PlacementResult run_greedy(const CoverageModel& model, std::size_t k,
                            const CompositeGreedyOptions& options,
@@ -38,23 +22,19 @@ PlacementResult run_greedy(const CoverageModel& model, std::size_t k,
   PlacementState state(model);
   const auto n = static_cast<graph::NodeId>(model.num_nodes());
   for (std::size_t step = 0; step < k && state.placement().size() < n; ++step) {
-    Candidate chosen;
+    detail::ScanBest chosen;
     if (composite) {
-      const Candidate cover = best_candidate(state, n, [&](graph::NodeId v) {
-        ++evaluations;
-        return state.uncovered_gain(v);
-      });
-      const Candidate improve = best_candidate(state, n, [&](graph::NodeId v) {
-        ++evaluations;
-        return state.improvement_gain(v);
-      });
+      const detail::ScanBest cover = detail::best_unplaced(
+          state, n, [&](graph::NodeId v) { return state.uncovered_gain(v); });
+      const detail::ScanBest improve = detail::best_unplaced(
+          state, n, [&](graph::NodeId v) { return state.improvement_gain(v); });
+      evaluations += cover.evaluations + improve.evaluations;
       // Candidate (i) wins exact ties — it appears first in the listing.
       chosen = improve.score > cover.score ? improve : cover;
     } else {
-      chosen = best_candidate(state, n, [&](graph::NodeId v) {
-        ++evaluations;
-        return state.gain_if_added(v);
-      });
+      chosen = detail::best_unplaced(
+          state, n, [&](graph::NodeId v) { return state.gain_if_added(v); });
+      evaluations += chosen.evaluations;
     }
     if (chosen.node == graph::kInvalidNode) break;
     if (chosen.score <= 0.0 && options.stop_when_no_gain) break;

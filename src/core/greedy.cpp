@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "src/core/evaluator.h"
+#include "src/core/parallel_scan.h"
 #include "src/obs/telemetry.h"
 
 namespace rap::core {
@@ -19,22 +20,14 @@ PlacementResult greedy_coverage_placement(const CoverageModel& model,
   PlacementState state(model);
   const auto n = static_cast<graph::NodeId>(model.num_nodes());
   for (std::size_t step = 0; step < k && state.placement().size() < n; ++step) {
-    graph::NodeId best = graph::kInvalidNode;
-    double best_gain = -1.0;
-    for (graph::NodeId v = 0; v < n; ++v) {
-      if (state.contains(v)) continue;
-      ++evaluations;
-      const double gain = state.uncovered_gain(v);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = v;
-      }
-    }
-    if (best == graph::kInvalidNode) break;
-    if (best_gain <= 0.0 && options.stop_when_no_gain) break;
-    state.add(best);
+    const detail::ScanBest best = detail::best_unplaced(
+        state, n, [&](graph::NodeId v) { return state.uncovered_gain(v); });
+    evaluations += best.evaluations;
+    if (best.node == graph::kInvalidNode) break;
+    if (best.score <= 0.0 && options.stop_when_no_gain) break;
+    state.add(best.node);
     ++iterations;
-    obs::observe("placement.selected_gain", best_gain);
+    obs::observe("placement.selected_gain", best.score);
   }
   if (obs::ambient() != nullptr) {
     obs::add_counter("greedy.iterations", iterations);

@@ -1,0 +1,71 @@
+// Parallel marginal-gain scan — the shared kernel behind the greedy
+// family's candidate selection.
+//
+// The serial selection loop is an ascending scan keeping the first
+// strictly-better candidate, i.e. the highest-scoring unplaced node with
+// ties broken to the lowest id. best_unplaced() reproduces that exactly
+// under util::parallel_reduce: each static chunk computes its own
+// lowest-id argmax, and chunks combine in ascending order with the same
+// strict tie-to-lowest-id rule. Scores are compared, never accumulated, so
+// no floating-point reassociation occurs and the selection is bit-identical
+// to the serial scan for any thread count.
+//
+// Score functions must be pure reads of the PlacementState/CoverageModel
+// (uncovered_gain / improvement_gain / gain_if_added all are): chunk bodies
+// run concurrently on pool workers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/evaluator.h"
+#include "src/util/thread_pool.h"
+
+namespace rap::core::detail {
+
+/// Nodes per chunk of the candidate scan. Fixed (never derived from the
+/// thread count) so the chunk partition — and with it any telemetry merge
+/// order — is identical for every ParallelConfig.
+inline constexpr std::size_t kScanGrain = 64;
+
+struct ScanBest {
+  graph::NodeId node = graph::kInvalidNode;
+  double score = -1.0;
+  std::uint64_t evaluations = 0;  ///< unplaced nodes scored (sums over chunks)
+};
+
+/// Highest-score unplaced node in [0, n), ties to the lowest id;
+/// `node == kInvalidNode` when every node is already placed. `evaluations`
+/// counts scored candidates exactly as the serial loop did.
+template <typename ScoreFn>
+[[nodiscard]] ScanBest best_unplaced(const PlacementState& state,
+                                     graph::NodeId n, ScoreFn&& score_of) {
+  return util::parallel_reduce<ScanBest>(
+      0, n, kScanGrain,
+      [&](const util::ChunkRange& chunk) {
+        ScanBest best;
+        for (std::size_t i = chunk.first; i < chunk.last; ++i) {
+          const auto v = static_cast<graph::NodeId>(i);
+          if (state.contains(v)) continue;
+          ++best.evaluations;
+          const double score = score_of(v);
+          if (score > best.score) {
+            best.score = score;
+            best.node = v;
+          }
+        }
+        return best;
+      },
+      [](ScanBest acc, const ScanBest& next) {
+        // kInvalidNode is the largest id, so an empty chunk (score -1,
+        // invalid node) never displaces a real candidate on a tie.
+        if (next.score > acc.score ||
+            (next.score == acc.score && next.node < acc.node)) {
+          acc.node = next.node;
+          acc.score = next.score;
+        }
+        acc.evaluations += next.evaluations;
+        return acc;
+      });
+}
+
+}  // namespace rap::core::detail

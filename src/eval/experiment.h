@@ -39,9 +39,12 @@ struct ExperimentConfig {
   /// false: general scenario (fixed paths); true: Manhattan scenario
   /// (flexible routing + two-stage algorithms become available).
   bool manhattan_scenario = false;
-  /// Worker threads for the repetition loop; 1 = serial, 0 = hardware
-  /// concurrency. Results are bit-identical for any thread count
-  /// (repetitions are RNG-independent and accumulated in order).
+  /// Worker threads for the repetition loop; 1 = serial, 0 = the ambient
+  /// util::ParallelConfig (RAP_THREADS env var, else hardware concurrency).
+  /// Results are bit-identical for any thread count (repetitions are
+  /// RNG-independent and accumulated in order; telemetry merges in
+  /// repetition order). Recorded as the `parallel.threads` gauge in the
+  /// run's telemetry.
   std::size_t threads = 1;
   std::vector<AlgorithmId> algorithms{
       AlgorithmId::kGreedyCoverage,  AlgorithmId::kCompositeGreedy,

@@ -1,12 +1,10 @@
 #include "src/eval/runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 #include "src/core/baselines.h"
 #include "src/core/composite_greedy.h"
@@ -18,6 +16,7 @@
 #include "src/manhattan/two_stage.h"
 #include "src/obs/telemetry.h"
 #include "src/util/rng.h"
+#include "src/util/thread_pool.h"
 
 namespace rap::eval {
 namespace {
@@ -179,29 +178,25 @@ ExperimentResult run_experiment(const Workload& workload,
   };
 
   std::vector<RepValues> per_rep(config.repetitions);
-  std::size_t threads = config.threads == 0
-                            ? std::max(1u, std::thread::hardware_concurrency())
-                            : config.threads;
-  threads = std::min(threads, config.repetitions);
-  if (threads <= 1) {
-    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-      per_rep[rep] = run_repetition(rep);
-    }
-  } else {
-    std::atomic<std::size_t> next_rep{0};
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t rep = next_rep.fetch_add(1);
-          if (rep >= config.repetitions) return;
+  // Repetitions dispatch through the shared deterministic pool: one chunk
+  // per repetition, each with its own forked RNG stream (root.fork(rep) —
+  // the same stream assignment the serial loop uses). Parallel regions
+  // inside a repetition (APSP rows, greedy candidate scans) detect they are
+  // on a pool worker and run inline, so thread counts compose without
+  // oversubscription.
+  const std::size_t threads =
+      std::min(config.threads == 0 ? util::parallel_config().effective()
+                                   : config.threads,
+               config.repetitions);
+  obs::set_gauge("parallel.threads", static_cast<double>(threads));
+  util::parallel_for(
+      0, config.repetitions, /*grain=*/1,
+      [&](const util::ChunkRange& chunk) {
+        for (std::size_t rep = chunk.first; rep < chunk.last; ++rep) {
           per_rep[rep] = run_repetition(rep);
         }
-      });
-    }
-    for (std::thread& worker : pool) worker.join();
-  }
+      },
+      threads);
   if (parent_telemetry != nullptr) {
     // Repetition order keeps the merged histogram moments deterministic for
     // any thread count, mirroring the value accumulation below.

@@ -1,22 +1,50 @@
 #include "src/graph/apsp.h"
 
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 #include "src/graph/dijkstra.h"
 #include "src/obs/telemetry.h"
+#include "src/util/thread_pool.h"
 
 namespace rap::graph {
+namespace {
+
+// Source rows per chunk. Fixed — never derived from the thread count — so
+// the chunk partition and the telemetry merge order below are identical for
+// every ParallelConfig.
+constexpr std::size_t kRowsPerChunk = 16;
+
+}  // namespace
 
 DistanceMatrix all_pairs_shortest_paths(const RoadNetwork& net) {
   const obs::Span span("apsp");
   const std::size_t n = net.num_nodes();
   obs::add_counter("apsp.sources", n);
   DistanceMatrix out(n);
-  for (NodeId source = 0; source < n; ++source) {
-    const ShortestPathTree tree = dijkstra(net, source);
-    for (NodeId target = 0; target < n; ++target) {
-      out.set(source, target, tree.distances()[target]);
+  if (n == 0) return out;
+
+  // Each chunk of source rows runs its Dijkstras into disjoint matrix rows.
+  // Dijkstra flushes work counters to the ambient sink, so every chunk gets
+  // a private Telemetry (workers never share one) and the results merge in
+  // chunk order afterwards — counters end up bit-identical to the serial
+  // sweep for any thread count.
+  obs::Telemetry* const parent = obs::ambient();
+  std::vector<obs::Telemetry> chunk_telemetry(
+      parent != nullptr ? util::chunk_count(0, n, kRowsPerChunk) : 0);
+  util::parallel_for(0, n, kRowsPerChunk, [&](const util::ChunkRange& chunk) {
+    std::optional<obs::TelemetryScope> scope;
+    if (parent != nullptr) scope.emplace(chunk_telemetry[chunk.index]);
+    for (std::size_t source = chunk.first; source < chunk.last; ++source) {
+      const auto src = static_cast<NodeId>(source);
+      const ShortestPathTree tree = dijkstra(net, src);
+      const std::span<double> row = out.mutable_row(src);
+      std::copy(tree.distances().begin(), tree.distances().end(), row.begin());
     }
+  });
+  if (parent != nullptr) {
+    for (const obs::Telemetry& t : chunk_telemetry) parent->merge(t);
   }
   return out;
 }

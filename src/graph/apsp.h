@@ -31,7 +31,14 @@ class DistanceMatrix {
 
   /// Full row `from` (distances from one source to everything).
   [[nodiscard]] std::span<const double> row(NodeId from) const {
-    check(from, 0);
+    check_row(from);
+    return {dist_.data() + from * n_, n_};
+  }
+
+  /// Writable row `from`; rows are disjoint, so concurrent writers to
+  /// different rows are race-free (how the parallel APSP fills the matrix).
+  [[nodiscard]] std::span<double> mutable_row(NodeId from) {
+    check_row(from);
     return {dist_.data() + from * n_, n_};
   }
 
@@ -39,6 +46,14 @@ class DistanceMatrix {
   void check(NodeId from, NodeId to) const {
     if (from >= n_ || to >= n_) {
       throw std::out_of_range("DistanceMatrix: bad node id");
+    }
+  }
+  // Row accessors validate only the row index: `check(from, 0)` would also
+  // demand a valid column 0, which rejects every row of an empty matrix for
+  // the wrong reason and muddles the `from == n_` boundary.
+  void check_row(NodeId from) const {
+    if (from >= n_) {
+      throw std::out_of_range("DistanceMatrix: bad row id");
     }
   }
 

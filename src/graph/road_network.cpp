@@ -6,9 +6,47 @@
 
 namespace rap::graph {
 
+RoadNetwork::RoadNetwork(const RoadNetwork& other)
+    : positions_(other.positions_), edges_(other.edges_) {}
+
+RoadNetwork& RoadNetwork::operator=(const RoadNetwork& other) {
+  if (this != &other) {
+    positions_ = other.positions_;
+    edges_ = other.edges_;
+    out_adj_ = {};
+    in_adj_ = {};
+    adjacency_valid_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+RoadNetwork::RoadNetwork(RoadNetwork&& other) noexcept
+    : positions_(std::move(other.positions_)),
+      edges_(std::move(other.edges_)),
+      out_adj_(std::move(other.out_adj_)),
+      in_adj_(std::move(other.in_adj_)),
+      adjacency_valid_(
+          other.adjacency_valid_.load(std::memory_order_relaxed)) {
+  other.adjacency_valid_.store(false, std::memory_order_relaxed);
+}
+
+RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept {
+  if (this != &other) {
+    positions_ = std::move(other.positions_);
+    edges_ = std::move(other.edges_);
+    out_adj_ = std::move(other.out_adj_);
+    in_adj_ = std::move(other.in_adj_);
+    adjacency_valid_.store(
+        other.adjacency_valid_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    other.adjacency_valid_.store(false, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 NodeId RoadNetwork::add_node(geo::Point position) {
   positions_.push_back(position);
-  adjacency_valid_ = false;
+  adjacency_valid_.store(false, std::memory_order_relaxed);
   return static_cast<NodeId>(positions_.size() - 1);
 }
 
@@ -23,7 +61,7 @@ EdgeId RoadNetwork::add_edge(NodeId from, NodeId to, double length) {
         "RoadNetwork::add_edge: length must be finite and > 0");
   }
   edges_.push_back(Edge{from, to, length});
-  adjacency_valid_ = false;
+  adjacency_valid_.store(false, std::memory_order_relaxed);
   return static_cast<EdgeId>(edges_.size() - 1);
 }
 
@@ -86,10 +124,15 @@ void RoadNetwork::check_node(NodeId node) const {
 }
 
 void RoadNetwork::ensure_adjacency() const {
-  if (adjacency_valid_) return;
+  // Double-checked locking: the release store publishes the CSR arrays to
+  // any reader whose acquire load sees `true`, so concurrent const callers
+  // (parallel Dijkstra sweeps) never observe a half-built adjacency.
+  if (adjacency_valid_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  if (adjacency_valid_.load(std::memory_order_relaxed)) return;
   out_adj_ = build_adjacency(/*incoming=*/false);
   in_adj_ = build_adjacency(/*incoming=*/true);
-  adjacency_valid_ = true;
+  adjacency_valid_.store(true, std::memory_order_release);
 }
 
 RoadNetwork::Adjacency RoadNetwork::build_adjacency(bool incoming) const {

@@ -2,9 +2,15 @@
 // streets (directed weighted edges). Two-way streets are a pair of directed
 // edges; one-way streets a single edge — matching Section III-A of the paper
 // ("one-way and two-way streets").
+//
+// Thread safety: concurrent const access (including the lazily built
+// adjacency behind out_edges/in_edges) is safe; mutation requires exclusive
+// access, like a standard container.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,6 +34,14 @@ struct Edge {
 class RoadNetwork {
  public:
   RoadNetwork() = default;
+
+  // The adjacency cache's mutex/atomic make the defaults ill-formed; copies
+  // take only the graph itself (the copy rebuilds its adjacency on demand),
+  // moves carry the cache along.
+  RoadNetwork(const RoadNetwork& other);
+  RoadNetwork& operator=(const RoadNetwork& other);
+  RoadNetwork(RoadNetwork&& other) noexcept;
+  RoadNetwork& operator=(RoadNetwork&& other) noexcept;
 
   /// Adds an intersection at `position`; returns its id (ids are dense,
   /// starting at 0).
@@ -87,9 +101,14 @@ class RoadNetwork {
   std::vector<geo::Point> positions_;
   std::vector<Edge> edges_;
 
+  // Lazily built CSR caches with double-checked locking: concurrent readers
+  // (e.g. the parallel APSP's Dijkstra workers) may race to build them, so
+  // the valid flag is an acquire/release atomic and construction is
+  // serialised by the mutex (see ensure_adjacency).
+  mutable std::mutex adjacency_mutex_;
   mutable Adjacency out_adj_;
   mutable Adjacency in_adj_;
-  mutable bool adjacency_valid_ = false;
+  mutable std::atomic<bool> adjacency_valid_{false};
 };
 
 }  // namespace rap::graph

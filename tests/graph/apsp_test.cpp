@@ -3,10 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "src/graph/dijkstra.h"
+#include "src/util/thread_pool.h"
 #include "tests/testing/builders.h"
 
 namespace rap::graph {
 namespace {
+
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(util::parallel_config()) {}
+  ~ConfigGuard() { util::set_parallel_config(saved_); }
+
+ private:
+  util::ParallelConfig saved_;
+};
 
 TEST(DistanceMatrix, SetGetRoundTrip) {
   DistanceMatrix m(3);
@@ -30,6 +40,30 @@ TEST(DistanceMatrix, BoundsChecked) {
   EXPECT_THROW(m(2, 0), std::out_of_range);
   EXPECT_THROW(m.set(0, 2, 1.0), std::out_of_range);
   EXPECT_THROW(m.row(2), std::out_of_range);
+}
+
+// Regression: row() used to validate via check(from, 0), conflating the row
+// index with column 0 — the last valid row and the empty matrix exercised
+// the (previously wrong) boundary.
+TEST(DistanceMatrix, RowBoundaryIsExact) {
+  DistanceMatrix m(3);
+  EXPECT_EQ(m.row(2).size(), 3u);   // last valid row must not throw
+  EXPECT_THROW(m.row(3), std::out_of_range);
+
+  DistanceMatrix empty(0);
+  EXPECT_THROW(empty.row(0), std::out_of_range);
+}
+
+TEST(DistanceMatrix, MutableRowWritesAreVisible) {
+  DistanceMatrix m(2);
+  EXPECT_THROW(m.mutable_row(2), std::out_of_range);
+  auto row = m.mutable_row(1);
+  ASSERT_EQ(row.size(), 2u);
+  row[0] = 4.0;
+  row[1] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);  // other rows untouched
 }
 
 TEST(Apsp, LineNetwork) {
@@ -102,6 +136,57 @@ TEST_P(ApspVsFloydWarshall, Agree) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, ApspVsFloydWarshall,
                          ::testing::Range<std::uint64_t>(0, 10));
+
+// Property test for the parallel row sweep: at threads=4 the Dijkstra-based
+// APSP must still agree with the serial Floyd–Warshall oracle on random
+// strongly connected networks.
+class ParallelApspVsFloydWarshall
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelApspVsFloydWarshall, Agree) {
+  const ConfigGuard guard;
+  util::set_parallel_config({4});
+  util::Rng rng(GetParam() * 13 + 5);
+  const RoadNetwork net = testing::random_network(
+      3 + rng.next_below(5), 3 + rng.next_below(5), rng.next_below(12), rng);
+  const DistanceMatrix fast = all_pairs_shortest_paths(net);
+  const DistanceMatrix slow = floyd_warshall(net);
+  for (NodeId i = 0; i < net.num_nodes(); ++i) {
+    for (NodeId j = 0; j < net.num_nodes(); ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-9) << i << "->" << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ParallelApspVsFloydWarshall,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(ParallelApsp, GraphSmallerThanThreadCount) {
+  const ConfigGuard guard;
+  util::set_parallel_config({8});
+  const RoadNetwork net = testing::line_network(2);  // 2 nodes, 8 threads
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  EXPECT_DOUBLE_EQ(d(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(ParallelApsp, SingleNodeGraph) {
+  const ConfigGuard guard;
+  util::set_parallel_config({4});
+  RoadNetwork net;
+  net.add_node({0.0, 0.0});
+  const DistanceMatrix d = all_pairs_shortest_paths(net);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(ParallelApsp, EmptyGraph) {
+  const ConfigGuard guard;
+  util::set_parallel_config({4});
+  const RoadNetwork net;
+  EXPECT_EQ(all_pairs_shortest_paths(net).size(), 0u);
+}
 
 }  // namespace
 }  // namespace rap::graph

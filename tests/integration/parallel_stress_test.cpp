@@ -1,0 +1,100 @@
+// Stress test for the parallel execution engine (ctest label: stress).
+// Hammers the experiment runner with 200 repetitions on a mid-size grid at
+// threads = hardware concurrency and checks that the merged telemetry —
+// every counter total — and the statistical summaries are identical to a
+// fully serial run. This is the load test behind the determinism contract:
+// under real contention, work must neither be dropped, duplicated, nor
+// merged out of order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/citygen/grid_city.h"
+#include "src/eval/runner.h"
+#include "src/obs/telemetry.h"
+#include "src/traffic/utility.h"
+#include "src/util/thread_pool.h"
+#include "tests/testing/builders.h"
+
+namespace rap::eval {
+namespace {
+
+struct StressRun {
+  ExperimentResult result;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+StressRun run_at(const Workload& workload, std::size_t threads) {
+  ExperimentConfig config;
+  config.name = "stress";
+  config.ks = {1, 3, 5};
+  config.utility = traffic::UtilityKind::kLinear;
+  config.range = 9.0;
+  config.repetitions = 200;
+  config.seed = 20150707;  // ICDCS'15 vintage
+  config.threads = threads;
+  config.algorithms = {
+      AlgorithmId::kGreedyCoverage,
+      AlgorithmId::kCompositeGreedy,
+      AlgorithmId::kMaxCustomers,
+      AlgorithmId::kRandom,
+  };
+
+  obs::Telemetry telemetry;
+  StressRun run;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    run.result = run_experiment(workload, config);
+  }
+  for (const auto& [name, counter] : telemetry.metrics.counters()) {
+    run.counters[name] = counter.value();
+  }
+  // The thread-count gauge intentionally differs between the two runs; the
+  // counters must not.
+  return run;
+}
+
+TEST(ParallelStress, TwoHundredRepetitionsMatchSerialExactly) {
+  const citygen::GridCity city({12, 12, 1.0, {0.0, 0.0}});
+  util::Rng rng(99);
+  auto flows = testing::random_flows(city.network(), 60, rng, 0.5);
+  const Workload workload =
+      make_workload(city.network(), std::move(flows), "stress-grid");
+
+  // threads=0 resolves to the ambient config (hardware concurrency unless
+  // RAP_THREADS overrides it); threads=4 forces cross-thread execution even
+  // on single-core machines (the shared pool always has >= 3 workers); the
+  // reference run is forced serial.
+  const StressRun parallel = run_at(workload, 0);
+  const StressRun four = run_at(workload, 4);
+  const StressRun serial = run_at(workload, 1);
+
+  // Every merged counter total matches the serial run, bit for bit.
+  ASSERT_FALSE(serial.counters.empty());
+  EXPECT_EQ(serial.counters, parallel.counters);
+  EXPECT_EQ(serial.counters, four.counters);
+
+  // And the statistics themselves are bit-identical.
+  ASSERT_EQ(serial.result.series.size(), parallel.result.series.size());
+  for (std::size_t s = 0; s < serial.result.series.size(); ++s) {
+    ASSERT_EQ(serial.result.series[s].by_k.size(),
+              parallel.result.series[s].by_k.size());
+    for (std::size_t ki = 0; ki < serial.result.series[s].by_k.size(); ++ki) {
+      const util::Summary& a = serial.result.series[s].by_k[ki];
+      const util::Summary& b = parallel.result.series[s].by_k[ki];
+      const std::string tag =
+          std::string(to_string(serial.result.series[s].algorithm)) +
+          " k-index " + std::to_string(ki);
+      EXPECT_EQ(a.count, 200u) << tag;
+      EXPECT_EQ(a.count, b.count) << tag;
+      EXPECT_EQ(a.mean, b.mean) << tag;
+      EXPECT_EQ(a.stddev, b.stddev) << tag;
+      EXPECT_EQ(a.min, b.min) << tag;
+      EXPECT_EQ(a.max, b.max) << tag;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rap::eval

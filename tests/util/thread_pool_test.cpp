@@ -1,0 +1,225 @@
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rap::util {
+namespace {
+
+// Tests mutate the process-wide config; restore it on scope exit so test
+// order never matters.
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(parallel_config()) {}
+  ~ConfigGuard() { set_parallel_config(saved_); }
+
+ private:
+  ParallelConfig saved_;
+};
+
+TEST(ParallelConfig, EffectiveResolvesZeroToHardware) {
+  EXPECT_EQ(ParallelConfig{1}.effective(), 1u);
+  EXPECT_EQ(ParallelConfig{5}.effective(), 5u);
+  EXPECT_GE(ParallelConfig{0}.effective(), 1u);
+}
+
+TEST(ParallelConfig, AmbientRoundTrips) {
+  const ConfigGuard guard;
+  set_parallel_config({3});
+  EXPECT_EQ(parallel_config().threads, 3u);
+  set_parallel_config({0});
+  EXPECT_EQ(parallel_config().threads, 0u);
+}
+
+TEST(ChunkCount, Math) {
+  EXPECT_EQ(chunk_count(0, 0, 4), 0u);
+  EXPECT_EQ(chunk_count(0, 1, 4), 1u);
+  EXPECT_EQ(chunk_count(0, 4, 4), 1u);
+  EXPECT_EQ(chunk_count(0, 5, 4), 2u);
+  EXPECT_EQ(chunk_count(3, 10, 3), 3u);
+  EXPECT_EQ(chunk_count(0, 10, 0), 10u);  // zero grain counts as 1
+  EXPECT_EQ(chunk_count(5, 5, 1), 0u);
+}
+
+TEST(ThreadPool, ChunkPartitionIsStatic) {
+  // Chunk boundaries must depend only on (first, last, grain) — record them
+  // at 1 and 4 threads and compare.
+  const auto partition_at = [](std::size_t threads) {
+    std::vector<ChunkRange> chunks(chunk_count(2, 13, 3));
+    std::mutex mutex;
+    ThreadPool::shared().run_chunks(2, 13, 3, threads,
+                                    [&](const ChunkRange& c) {
+                                      const std::lock_guard<std::mutex> lock(mutex);
+                                      chunks[c.index] = c;
+                                    });
+    return chunks;
+  };
+  const std::vector<ChunkRange> serial = partition_at(1);
+  const std::vector<ChunkRange> parallel = partition_at(4);
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].first, parallel[i].first);
+    EXPECT_EQ(serial[i].last, parallel[i].last);
+    EXPECT_EQ(serial[i].index, i);
+  }
+  EXPECT_EQ(serial[0].first, 2u);
+  EXPECT_EQ(serial[3].last, 13u);
+  EXPECT_EQ(serial[3].last - serial[3].first, 2u);  // tail chunk is short
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(
+      0, kN, 7,
+      [&](const ChunkRange& c) {
+        for (std::size_t i = c.first; i < c.last; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*threads=*/4);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  parallel_for(
+      0, 10, 2,
+      [&](const ChunkRange&) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;  // safe: inline path is sequential
+      },
+      /*threads=*/1);
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(ThreadPool, UsesMultipleThreadsWhenAsked) {
+  // With enough long-lived chunks, at least one chunk should land off the
+  // calling thread (the shared pool always has >= 3 workers).
+  ASSERT_GE(ThreadPool::shared().worker_count(), 3u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  parallel_for(
+      0, 64, 1,
+      [&](const ChunkRange&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(std::this_thread::get_id());
+      },
+      /*threads=*/4);
+  EXPECT_GE(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(caller) > 0 || seen.size() >= 2);
+}
+
+TEST(ThreadPool, ReduceSumsDeterministically) {
+  // Combine runs in ascending chunk order: concatenating chunk indices must
+  // yield 0,1,2,... regardless of which worker mapped which chunk.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const std::vector<std::size_t> order = parallel_reduce<std::vector<std::size_t>>(
+        0, 40, 3,
+        [](const ChunkRange& c) { return std::vector<std::size_t>{c.index}; },
+        [](std::vector<std::size_t> acc, std::vector<std::size_t> next) {
+          acc.insert(acc.end(), next.begin(), next.end());
+          return acc;
+        },
+        threads);
+    ASSERT_EQ(order.size(), chunk_count(0, 40, 3));
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPool, ReduceMatchesSerialSum) {
+  constexpr std::size_t kN = 500;
+  const auto sum_at = [](std::size_t threads) {
+    return parallel_reduce<std::uint64_t>(
+        0, kN, 16,
+        [](const ChunkRange& c) {
+          std::uint64_t s = 0;
+          for (std::size_t i = c.first; i < c.last; ++i) s += i * i;
+          return s;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; }, threads);
+  };
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kN; ++i) expected += i * i;
+  EXPECT_EQ(sum_at(1), expected);
+  EXPECT_EQ(sum_at(4), expected);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  bool called = false;
+  parallel_for(5, 5, 1, [&](const ChunkRange&) { called = true; }, 4);
+  EXPECT_FALSE(called);
+  EXPECT_EQ(parallel_reduce<int>(
+                5, 5, 1, [](const ChunkRange&) { return 1; },
+                [](int a, int b) { return a + b; }, 4),
+            0);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWins) {
+  // Chunks 2 and 5 throw; the rethrown error must be chunk 2's for every
+  // thread count (timing-independent error reporting).
+  for (const std::size_t threads : {std::size_t{4}, std::size_t{2}}) {
+    try {
+      parallel_for(
+          0, 80, 10,
+          [&](const ChunkRange& c) {
+            if (c.index == 2 || c.index == 5) {
+              throw std::runtime_error("chunk " + std::to_string(c.index));
+            }
+          },
+          threads);
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "chunk 2");
+    }
+  }
+}
+
+TEST(ThreadPool, InvalidRangeThrows) {
+  EXPECT_THROW(ThreadPool::shared().run_chunks(
+                   5, 4, 1, 2, [](const ChunkRange&) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A chunk body that itself calls parallel_for must complete (inline on
+  // the worker) instead of deadlocking on the pool.
+  std::atomic<std::size_t> inner_total{0};
+  parallel_for(
+      0, 8, 1,
+      [&](const ChunkRange&) {
+        std::size_t local = 0;
+        parallel_for(
+            0, 10, 2, [&](const ChunkRange& inner) {
+              local += inner.last - inner.first;  // inline => sequential
+            },
+            4);
+        inner_total.fetch_add(local, std::memory_order_relaxed);
+      },
+      4);
+  EXPECT_EQ(inner_total.load(), 80u);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::size_t runs = 0;
+  pool.run_chunks(0, 6, 2, 8, [&](const ChunkRange&) { ++runs; });
+  EXPECT_EQ(runs, 3u);
+}
+
+}  // namespace
+}  // namespace rap::util

@@ -25,6 +25,10 @@
 //               maxvehicles|random                 (default alg2)
 //   --k=N                        number of RAPs
 //   --save-network --save-flows --geojson          outputs
+//   --threads=N                  worker threads for parallel kernels (APSP,
+//                                greedy scans); default: hardware
+//                                concurrency. Results are bit-identical for
+//                                any N (see DESIGN.md §8)
 //   --metrics-out=PATH           telemetry JSON (schema rap.telemetry.v1):
 //                                per-stage spans, algorithm counters,
 //                                histogram percentiles
@@ -53,6 +57,7 @@
 #include "src/trace/io.h"
 #include "src/util/cli.h"
 #include "src/util/strings.h"
+#include "src/util/thread_pool.h"
 
 namespace {
 
@@ -172,6 +177,13 @@ int main(int argc, char** argv) {
     const util::CliFlags flags(argc, argv);
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     util::Rng rng(seed ^ 0x5eed);
+
+    // Parallelism is a resource knob, never a results knob: any value here
+    // produces bit-identical placements (DESIGN.md §8).
+    if (flags.has("threads")) {
+      util::set_parallel_config(
+          {static_cast<std::size_t>(flags.get_int("threads", 0))});
+    }
 
     const bool quiet = flags.get_bool("quiet", false);
     const bool verbose_timings = flags.get_bool("verbose-timings", false);
