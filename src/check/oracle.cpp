@@ -1,0 +1,105 @@
+#include "src/check/oracle.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/graph/dijkstra.h"  // graph::kUnreachable
+
+namespace rap::check {
+namespace {
+
+// Minimum detour per flow over the placed nodes, kUnreachable when none of
+// them reaches the flow. The only model access is reach_at — the problem
+// definition — never the evaluator.
+std::vector<double> min_detours(const core::CoverageModel& model,
+                                std::span<const graph::NodeId> nodes) {
+  std::vector<double> best(model.num_flows(), graph::kUnreachable);
+  for (const graph::NodeId node : nodes) {
+    for (const traffic::NodeIncidence& inc : model.reach_at(node)) {
+      if (inc.detour < best[inc.flow]) best[inc.flow] = inc.detour;
+    }
+  }
+  return best;
+}
+
+double value_of(const core::CoverageModel& model,
+                const std::vector<double>& detours) {
+  double total = 0.0;
+  for (traffic::FlowIndex f = 0; f < detours.size(); ++f) {
+    if (std::isinf(detours[f])) continue;
+    total += model.customers(f, detours[f]);
+  }
+  return total;
+}
+
+}  // namespace
+
+double oracle_evaluate(const core::CoverageModel& model,
+                       std::span<const graph::NodeId> nodes) {
+  return value_of(model, min_detours(model, nodes));
+}
+
+OracleBest oracle_best_single(const core::CoverageModel& model) {
+  OracleBest best;
+  for (graph::NodeId v = 0; v < model.num_nodes(); ++v) {
+    const graph::NodeId single[] = {v};
+    const double value = oracle_evaluate(model, single);
+    if (value > best.customers) {
+      best.customers = value;
+      best.node = v;
+    }
+  }
+  return best;
+}
+
+double oracle_gain(const core::CoverageModel& model,
+                   std::span<const graph::NodeId> placed, graph::NodeId node) {
+  std::vector<graph::NodeId> extended(placed.begin(), placed.end());
+  extended.push_back(node);
+  return oracle_evaluate(model, extended) - oracle_evaluate(model, placed);
+}
+
+double oracle_uncovered_gain(const core::CoverageModel& model,
+                             std::span<const graph::NodeId> placed,
+                             graph::NodeId node) {
+  const std::vector<double> covered = min_detours(model, placed);
+  double gain = 0.0;
+  for (const traffic::NodeIncidence& inc : model.reach_at(node)) {
+    if (!std::isinf(covered[inc.flow]) &&
+        model.customers(inc.flow, covered[inc.flow]) > 0.0) {
+      continue;  // flow already contributes under `placed`
+    }
+    gain += model.customers(inc.flow, inc.detour);
+  }
+  return gain;
+}
+
+core::PlacementResult oracle_exhaustive(const core::CoverageModel& model,
+                                        std::size_t k, std::size_t max_nodes) {
+  const std::size_t n = model.num_nodes();
+  if (k == 0) {
+    throw std::invalid_argument("oracle_exhaustive: k must be > 0");
+  }
+  if (n > max_nodes) {
+    throw std::invalid_argument("oracle_exhaustive: instance too large");
+  }
+  core::PlacementResult best;  // empty placement, value 0
+  std::vector<graph::NodeId> chosen;
+  // Plain DFS over all subsets of size <= k, re-evaluating each leaf from
+  // scratch with oracle_evaluate.
+  const auto recurse = [&](const auto& self, graph::NodeId first) -> void {
+    const double value = oracle_evaluate(model, chosen);
+    if (value > best.customers) best = {chosen, value};
+    if (chosen.size() == k) return;
+    for (graph::NodeId v = first; v < n; ++v) {
+      chosen.push_back(v);
+      self(self, v + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+}  // namespace rap::check

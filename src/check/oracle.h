@@ -1,0 +1,62 @@
+// Brute-force oracle for the placement objective.
+//
+// Everything here recomputes "expected attracted customers" from the
+// problem definition alone — per flow, the minimum detour over the placed
+// RAPs, then the utility at that detour (paper Section III-A) — with no
+// reuse of PlacementState's incremental bookkeeping. Deliberately naive and
+// quadratic: the value of these functions is that they cannot share a bug
+// with the code they cross-check (src/core/evaluator.h, the greedy family's
+// gain functions, the Algorithm 3 k <= 4 exhaustive path).
+//
+// Semantics note: the oracle implements the paper's objective
+// f(min detour) * population. For the non-increasing utilities the paper
+// uses this equals PlacementState's running-max contribution exactly; for
+// adversarial (non-monotone) utilities the evaluator's documented guarded
+// semantics differ (see check/audit.h), so the differential fuzzer compares
+// against the oracle only on non-increasing utility families.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "src/core/problem.h"
+
+namespace rap::check {
+
+/// Paper-objective value of `nodes` (duplicates and repeated ids are
+/// tolerated, matching evaluate_placement).
+[[nodiscard]] double oracle_evaluate(const core::CoverageModel& model,
+                                     std::span<const graph::NodeId> nodes);
+
+struct OracleBest {
+  graph::NodeId node = graph::kInvalidNode;  ///< kInvalidNode when no node gains
+  double customers = 0.0;
+};
+
+/// Best singleton placement by evaluating every node alone; ties to the
+/// lowest id (the greedy family's tie rule).
+[[nodiscard]] OracleBest oracle_best_single(const core::CoverageModel& model);
+
+/// First-principles marginal gain of adding `node` to `placed`:
+/// oracle_evaluate(placed + node) - oracle_evaluate(placed).
+[[nodiscard]] double oracle_gain(const core::CoverageModel& model,
+                                 std::span<const graph::NodeId> placed,
+                                 graph::NodeId node);
+
+/// First-principles uncovered-only gain (the Algorithm 1 objective): the
+/// customers `node` attracts from flows that currently contribute nothing
+/// under `placed`.
+[[nodiscard]] double oracle_uncovered_gain(const core::CoverageModel& model,
+                                           std::span<const graph::NodeId> placed,
+                                           graph::NodeId node);
+
+/// Exact optimum by plain enumeration of every <= k subset of ALL nodes (no
+/// useful-candidate pruning, no incremental state — the point is
+/// independence from src/core/exhaustive.h). Throws std::invalid_argument
+/// when the instance exceeds `max_nodes` (a blunt guard against accidental
+/// exponential blow-up; the fuzzer only calls this on tiny instances).
+[[nodiscard]] core::PlacementResult oracle_exhaustive(
+    const core::CoverageModel& model, std::size_t k,
+    std::size_t max_nodes = 48);
+
+}  // namespace rap::check

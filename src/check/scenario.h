@@ -1,0 +1,119 @@
+// Seeded random problem instances for the differential fuzzer.
+//
+// A Scenario is a complete, self-owned placement instance — network, flows,
+// shop, utility, budget — generated deterministically from a single 64-bit
+// seed. The same seed always yields the same instance on every platform
+// (all randomness flows through util::Rng), which is what makes a failing
+// seed a complete bug report. scenario_to_json() renders the instance as a
+// standalone reproducer document ("rap.fuzz.scenario.v1") so a failure can
+// be inspected without re-running the generator.
+//
+// Beyond the paper's threshold/linear/sqrt utilities, two extra families
+// widen the search space:
+//   * StepUtility — a non-increasing staircase (plateaus and jump
+//     discontinuities, still within the paper's Theorem 1 assumptions);
+//   * AdversarialUtility — deterministic, bounded in [0, alpha] and zero
+//     beyond the range, but deliberately NON-monotone in the detour. It
+//     exercises the guarded branch in PlacementState::add() (a smaller
+//     detour whose customers do not beat the running max) and the paths the
+//     paper's assumptions never reach. CELF laziness and the (A3) audit
+//     invariant legitimately do not hold for it; the differential checks
+//     know this (see check/differential.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/graph/road_network.h"
+#include "src/traffic/flow.h"
+#include "src/traffic/utility.h"
+
+namespace rap::check {
+
+/// Non-increasing staircase: `steps` equal plateaus over [0, range], zero
+/// beyond. probability(0) == alpha, like the paper's utilities.
+class StepUtility final : public traffic::UtilityFunction {
+ public:
+  explicit StepUtility(double range, std::size_t steps = 4);
+  [[nodiscard]] double probability(double detour, double alpha) const override;
+  [[nodiscard]] double range() const noexcept override { return range_; }
+  [[nodiscard]] std::string name() const override { return "step"; }
+
+ private:
+  double range_;
+  std::size_t steps_;
+};
+
+/// Deterministic non-monotone utility: a seed-derived mixture of sinusoids
+/// mapped into [0, 1], scaled by alpha, zero beyond the range. Bounded and
+/// reproducible but NOT non-increasing — the adversarial family.
+class AdversarialUtility final : public traffic::UtilityFunction {
+ public:
+  explicit AdversarialUtility(double range, std::uint64_t seed);
+  [[nodiscard]] double probability(double detour, double alpha) const override;
+  [[nodiscard]] double range() const noexcept override { return range_; }
+  [[nodiscard]] std::string name() const override { return "adversarial"; }
+
+ private:
+  double range_;
+  double freq_a_;
+  double freq_b_;
+  double phase_a_;
+  double phase_b_;
+};
+
+/// Utility families the fuzzer draws from.
+enum class FuzzUtility {
+  kThreshold,
+  kLinear,
+  kSqrt,
+  kStep,
+  kAdversarial,
+};
+
+[[nodiscard]] const char* fuzz_utility_name(FuzzUtility kind) noexcept;
+
+/// Whether the family is non-increasing in the detour (the paper's Theorem 1
+/// assumption). Checks that rely on monotonicity/submodularity — CELF
+/// parity, the (A3) audit invariant, oracle value comparisons — are gated
+/// on this.
+[[nodiscard]] constexpr bool is_monotone(FuzzUtility kind) noexcept {
+  return kind != FuzzUtility::kAdversarial;
+}
+
+/// A self-owned random instance. Heap-allocated and pinned (non-copyable,
+/// non-movable): `problem` stores pointers into `net` and `utility`, so the
+/// addresses must never change.
+struct Scenario {
+  std::uint64_t seed = 0;
+  FuzzUtility utility_kind = FuzzUtility::kThreshold;
+  double range = 0.0;
+  std::size_t k = 0;
+  graph::NodeId shop = graph::kInvalidNode;
+
+  graph::RoadNetwork net;
+  std::vector<traffic::TrafficFlow> flows;
+  std::unique_ptr<traffic::UtilityFunction> utility;
+  std::unique_ptr<core::PlacementProblem> problem;
+
+  Scenario() = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+};
+
+/// Generates the instance for `seed`: a cols x rows unit grid (3..6 each
+/// way) with random chords, 4..24 shortest-path flows with varied volumes
+/// and alphas, a random shop, a utility family chosen by seed % 5 (so any
+/// contiguous seed window covers every family), range in [2, 10] and
+/// k in [1, 6].
+[[nodiscard]] std::unique_ptr<Scenario> generate_scenario(std::uint64_t seed);
+
+/// Standalone JSON reproducer ("rap.fuzz.scenario.v1"): seed, generator
+/// parameters, and the full materialised instance (nodes, edges, shop,
+/// flows with paths/volumes/alphas) with full double precision.
+[[nodiscard]] std::string scenario_to_json(const Scenario& scenario);
+
+}  // namespace rap::check

@@ -1,8 +1,7 @@
 #include "src/core/composite_greedy.h"
 
-#include <stdexcept>
-
 #include "src/core/evaluator.h"
+#include "src/core/k_policy.h"
 #include "src/core/parallel_scan.h"
 #include "src/obs/telemetry.h"
 
@@ -12,10 +11,8 @@ namespace {
 PlacementResult run_greedy(const CoverageModel& model, std::size_t k,
                            const CompositeGreedyOptions& options,
                            bool composite) {
-  if (k == 0) {
-    throw std::invalid_argument("composite_greedy_placement: k must be > 0");
-  }
   const char* const prefix = composite ? "composite_greedy" : "naive_greedy";
+  k = checked_budget(model, k, prefix);
   const obs::Span span(prefix);
   std::uint64_t iterations = 0;
   std::uint64_t evaluations = 0;

@@ -23,9 +23,11 @@ struct CompositeGreedyOptions {
   bool stop_when_no_gain = true;
 };
 
-/// Algorithm 2. Throws std::invalid_argument when k == 0. Deterministic
-/// (ties towards the lowest node id; candidate (i) wins exact ties with
-/// candidate (ii), matching the listing's order).
+/// Algorithm 2. Budget contract (core/k_policy.h): k == 0 throws
+/// std::invalid_argument, k > num_nodes clamps and sets the
+/// "placement.k_clamped" telemetry gauge. Deterministic (ties towards the
+/// lowest node id; candidate (i) wins exact ties with candidate (ii),
+/// matching the listing's order).
 [[nodiscard]] PlacementResult composite_greedy_placement(
     const CoverageModel& model, std::size_t k,
     const CompositeGreedyOptions& options = {});

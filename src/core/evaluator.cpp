@@ -1,6 +1,21 @@
 #include "src/core/evaluator.h"
 
+#include <atomic>
+
 namespace rap::core {
+namespace {
+
+std::atomic<PlacementAuditHook> g_audit_hook{nullptr};
+
+}  // namespace
+
+PlacementAuditHook set_placement_audit_hook(PlacementAuditHook hook) noexcept {
+  return g_audit_hook.exchange(hook, std::memory_order_acq_rel);
+}
+
+PlacementAuditHook placement_audit_hook() noexcept {
+  return g_audit_hook.load(std::memory_order_acquire);
+}
 
 PlacementState::PlacementState(const CoverageModel& model)
     : model_(&model),
@@ -62,6 +77,11 @@ void PlacementState::add(graph::NodeId node) {
       }
     }
   }
+#if defined(RAP_AUDIT) && RAP_AUDIT
+  if (const PlacementAuditHook hook = placement_audit_hook(); hook != nullptr) {
+    hook(*this);
+  }
+#endif
 }
 
 double evaluate_placement(const CoverageModel& model,

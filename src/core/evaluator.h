@@ -22,6 +22,33 @@
 
 namespace rap::core {
 
+/// True when the library was configured with the RAP_AUDIT CMake option.
+/// Audit builds compile a hook call into PlacementState::add() so an
+/// installed auditor (src/check/audit.h) can machine-check the state's
+/// invariants after every mutation; regular builds contain no call site at
+/// all, so the hook is provably zero-overhead when off (asserted by
+/// tests/integration/audit_overhead_test.cpp).
+#if defined(RAP_AUDIT) && RAP_AUDIT
+inline constexpr bool kAuditCompiledIn = true;
+#else
+inline constexpr bool kAuditCompiledIn = false;
+#endif
+
+class PlacementState;
+
+/// Hook invoked after every PlacementState::add() in RAP_AUDIT builds (the
+/// runtime toggle: a null hook disables auditing). Registration is always
+/// available so callers need no conditional compilation; without RAP_AUDIT
+/// the hook is simply never invoked.
+using PlacementAuditHook = void (*)(const PlacementState&);
+
+/// Installs `hook` as the process-wide audit hook; returns the previous one
+/// (so scoped installers can restore it). Thread-safe.
+PlacementAuditHook set_placement_audit_hook(PlacementAuditHook hook) noexcept;
+
+/// The currently installed audit hook, or nullptr.
+[[nodiscard]] PlacementAuditHook placement_audit_hook() noexcept;
+
 class PlacementState {
  public:
   explicit PlacementState(const CoverageModel& model);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/evaluator.h"
+#include "src/core/k_policy.h"
 
 namespace rap::core {
 namespace {
@@ -94,9 +95,7 @@ std::size_t exhaustive_combination_count(const CoverageModel& model,
 PlacementResult exhaustive_optimal_placement(const CoverageModel& model,
                                              std::size_t k,
                                              const ExhaustiveOptions& options) {
-  if (k == 0) {
-    throw std::invalid_argument("exhaustive_optimal_placement: k must be > 0");
-  }
+  k = checked_budget(model, k, "exhaustive_optimal_placement");
   const std::vector<graph::NodeId> pool = useful_candidates(model);
   const std::size_t effective_k = std::min(k, pool.size());
   if (effective_k == 0) return {};

@@ -20,9 +20,10 @@ struct ExhaustiveOptions {
   std::size_t max_combinations = 20'000'000;
 };
 
-/// Exact optimum over all placements of up to k RAPs. Throws
-/// std::invalid_argument when k == 0, std::runtime_error past the
-/// combination budget.
+/// Exact optimum over all placements of up to k RAPs. Budget contract
+/// (core/k_policy.h): k == 0 throws std::invalid_argument, k > num_nodes
+/// clamps and sets the "placement.k_clamped" telemetry gauge. Throws
+/// std::runtime_error past the combination budget.
 [[nodiscard]] PlacementResult exhaustive_optimal_placement(
     const CoverageModel& model, std::size_t k,
     const ExhaustiveOptions& options = {});

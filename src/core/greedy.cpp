@@ -1,8 +1,7 @@
 #include "src/core/greedy.h"
 
-#include <stdexcept>
-
 #include "src/core/evaluator.h"
+#include "src/core/k_policy.h"
 #include "src/core/parallel_scan.h"
 #include "src/obs/telemetry.h"
 
@@ -11,9 +10,7 @@ namespace rap::core {
 PlacementResult greedy_coverage_placement(const CoverageModel& model,
                                           std::size_t k,
                                           const GreedyOptions& options) {
-  if (k == 0) {
-    throw std::invalid_argument("greedy_coverage_placement: k must be > 0");
-  }
+  k = checked_budget(model, k, "greedy_coverage_placement");
   const obs::Span span("greedy_coverage");
   std::uint64_t iterations = 0;
   std::uint64_t evaluations = 0;

@@ -19,8 +19,10 @@ struct GreedyOptions {
   bool stop_when_no_gain = true;
 };
 
-/// Places up to k RAPs with Algorithm 1. Throws std::invalid_argument when
-/// k == 0. Ties break towards the lowest node id (deterministic).
+/// Places up to k RAPs with Algorithm 1. Budget contract (core/k_policy.h):
+/// k == 0 throws std::invalid_argument, k > num_nodes clamps to num_nodes
+/// and sets the "placement.k_clamped" telemetry gauge. Ties break towards
+/// the lowest node id (deterministic).
 [[nodiscard]] PlacementResult greedy_coverage_placement(
     const CoverageModel& model, std::size_t k,
     const GreedyOptions& options = {});

@@ -1,9 +1,9 @@
 #include "src/core/lazy_greedy.h"
 
 #include <queue>
-#include <stdexcept>
 
 #include "src/core/evaluator.h"
+#include "src/core/k_policy.h"
 #include "src/obs/telemetry.h"
 
 namespace rap::core {
@@ -11,10 +11,9 @@ namespace {
 
 template <typename GainFn>
 PlacementResult run_lazy(const CoverageModel& model, std::size_t k,
-                         GainFn&& gain_of, LazyGreedyStats* stats) {
-  if (k == 0) {
-    throw std::invalid_argument("lazy greedy placement: k must be > 0");
-  }
+                         GainFn&& gain_of, LazyGreedyStats* stats,
+                         bool stop_when_no_gain) {
+  k = checked_budget(model, k, "lazy greedy placement");
   const obs::Span span("lazy_greedy");
   PlacementState state(model);
 
@@ -46,10 +45,17 @@ PlacementResult run_lazy(const CoverageModel& model, std::size_t k,
     if (top.stamp != selections) {
       ++local.gain_evaluations;
       const double gain = gain_of(state, top.node);
-      if (gain > 0.0) heap.push({gain, top.node, selections});
+      // Under stop_when_no_gain a zero-gain candidate can never be selected,
+      // so dropping it here is safe. Without it the eager greedy pads the
+      // placement with zero-gain intersections (lowest id first), so the
+      // entry must stay in the heap to stay eligible — ascending-id ordering
+      // of equal gains reproduces the eager tie-break.
+      if (gain > 0.0 || !stop_when_no_gain) {
+        heap.push({gain, top.node, selections});
+      }
       continue;
     }
-    if (top.gain <= 0.0) break;
+    if (top.gain <= 0.0 && stop_when_no_gain) break;
     state.add(top.node);
     ++selections;
     obs::observe("placement.selected_gain", top.gain);
@@ -67,26 +73,26 @@ PlacementResult run_lazy(const CoverageModel& model, std::size_t k,
 
 }  // namespace
 
-PlacementResult lazy_marginal_greedy_placement(const CoverageModel& model,
-                                               std::size_t k,
-                                               LazyGreedyStats* stats) {
+PlacementResult lazy_marginal_greedy_placement(
+    const CoverageModel& model, std::size_t k, LazyGreedyStats* stats,
+    const CompositeGreedyOptions& options) {
   return run_lazy(
       model, k,
       [](const PlacementState& state, graph::NodeId v) {
         return state.gain_if_added(v);
       },
-      stats);
+      stats, options.stop_when_no_gain);
 }
 
 PlacementResult lazy_coverage_placement(const CoverageModel& model,
-                                        std::size_t k,
-                                        LazyGreedyStats* stats) {
+                                        std::size_t k, LazyGreedyStats* stats,
+                                        const GreedyOptions& options) {
   return run_lazy(
       model, k,
       [](const PlacementState& state, graph::NodeId v) {
         return state.uncovered_gain(v);
       },
-      stats);
+      stats, options.stop_when_no_gain);
 }
 
 }  // namespace rap::core

@@ -15,6 +15,8 @@
 // can be improved), so the composite greedy has no lazy counterpart.
 #pragma once
 
+#include "src/core/composite_greedy.h"
+#include "src/core/greedy.h"
 #include "src/core/problem.h"
 
 namespace rap::core {
@@ -29,16 +31,19 @@ struct LazyGreedyStats {
   std::size_t heap_pops = 0;
 };
 
-/// Same selection as naive_marginal_greedy_placement (ties to lowest id).
-/// Stops when no intersection yields positive gain. Throws when k == 0.
+/// Same selection as naive_marginal_greedy_placement under the same options
+/// (ties to lowest id; zero-gain padding when stop_when_no_gain is false) —
+/// results are bit-identical, placements and values alike. Budget contract:
+/// core/k_policy.h (k == 0 throws, k > num_nodes clamps).
 [[nodiscard]] PlacementResult lazy_marginal_greedy_placement(
-    const CoverageModel& model, std::size_t k,
-    LazyGreedyStats* stats = nullptr);
+    const CoverageModel& model, std::size_t k, LazyGreedyStats* stats = nullptr,
+    const CompositeGreedyOptions& options = {});
 
-/// Same selection as greedy_coverage_placement (Algorithm 1) with
-/// stop_when_no_gain semantics. Throws when k == 0.
+/// Same selection as greedy_coverage_placement (Algorithm 1) under the same
+/// GreedyOptions — bit-identical results, tie-break and zero-gain padding
+/// included. Budget contract: core/k_policy.h.
 [[nodiscard]] PlacementResult lazy_coverage_placement(
-    const CoverageModel& model, std::size_t k,
-    LazyGreedyStats* stats = nullptr);
+    const CoverageModel& model, std::size_t k, LazyGreedyStats* stats = nullptr,
+    const GreedyOptions& options = {});
 
 }  // namespace rap::core

@@ -9,6 +9,7 @@
 #include "src/core/evaluator.h"
 #include "src/core/exhaustive.h"
 #include "src/core/filtered.h"
+#include "src/core/k_policy.h"
 #include "src/manhattan/flow_class.h"
 
 namespace rap::manhattan {
@@ -102,9 +103,7 @@ core::PlacementResult two_stage_grid_placement(const GridCoverageModel& model,
                                                std::size_t k,
                                                TwoStageVariant variant,
                                                const TwoStageOptions& options) {
-  if (k == 0) {
-    throw std::invalid_argument("two_stage_grid_placement: k must be > 0");
-  }
+  k = core::checked_budget(model, k, "two_stage_grid_placement");
   if (k <= 4) return small_k_placement(model, k, options);
 
   const GridScenario& scenario = model.scenario();
@@ -135,9 +134,7 @@ core::PlacementResult two_stage_grid_placement(const GridCoverageModel& model,
 core::PlacementResult two_stage_network_placement(
     const FlexibleProblem& model, const geo::BBox& region, std::size_t k,
     TwoStageVariant variant, const TwoStageOptions& options) {
-  if (k == 0) {
-    throw std::invalid_argument("two_stage_network_placement: k must be > 0");
-  }
+  k = core::checked_budget(model, k, "two_stage_network_placement");
   if (region.empty()) {
     throw std::invalid_argument("two_stage_network_placement: empty region");
   }

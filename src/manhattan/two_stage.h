@@ -44,14 +44,16 @@ struct TwoStageOptions {
   bool spend_leftover_budget = true;
 };
 
-/// Two-stage placement on the ideal grid. Throws when k == 0.
+/// Two-stage placement on the ideal grid. Budget contract
+/// (core/k_policy.h): k == 0 throws, k > num_nodes clamps and sets the
+/// "placement.k_clamped" telemetry gauge.
 [[nodiscard]] core::PlacementResult two_stage_grid_placement(
     const GridCoverageModel& model, std::size_t k, TwoStageVariant variant,
     const TwoStageOptions& options = {});
 
 /// Two-stage placement on a real network under flexible routing. `region`
 /// is the D x D square centred at the shop (the paper's Manhattan region).
-/// Throws when k == 0 or the region is empty.
+/// Budget contract as above; throws when the region is empty.
 [[nodiscard]] core::PlacementResult two_stage_network_placement(
     const FlexibleProblem& model, const geo::BBox& region, std::size_t k,
     TwoStageVariant variant, const TwoStageOptions& options = {});

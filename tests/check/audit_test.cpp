@@ -1,0 +1,106 @@
+// The invariant auditor: green on healthy states, precise red on the
+// order-dependent (A3) case, and hook enforcement in RAP_AUDIT builds.
+#include "src/check/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+#include "src/traffic/utility.h"
+#include "tests/testing/builders.h"
+#include "tests/testing/nonmonotone.h"
+
+namespace rap::check {
+namespace {
+
+using rap::testing::Fig4;
+using rap::testing::NonMonotoneModel;
+
+TEST(AuditState, EmptyStateIsClean) {
+  const NonMonotoneModel model;
+  const core::PlacementState state(model);
+  EXPECT_TRUE(audit_state(state).ok());
+}
+
+TEST(AuditState, HealthyMonotoneStatePassesAllInvariants) {
+  const Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const core::PlacementProblem problem(fig.net, fig.flows, Fig4::shop,
+                                       utility);
+  core::PlacementState state(problem);
+  for (const graph::NodeId node : {Fig4::V3, Fig4::V5, Fig4::V1}) {
+    state.add(node);
+    EXPECT_TRUE(audit_state(state).ok());
+  }
+}
+
+TEST(AuditState, NonMonotoneOrderBreaksA3ButNotA4) {
+  const NonMonotoneModel model;
+  core::PlacementState state(model);
+  state.add(0);  // detour 2, customers 9
+  state.add(1);  // detour 1, customers 3 — guarded: contribution stays 9
+  // Audited as a monotone-utility state, the contribution no longer equals
+  // customers(best_detour): exactly one (A3) violation.
+  const AuditResult strict =
+      audit_state(state, {.monotone_utility = true});
+  ASSERT_EQ(strict.violations.size(), 1u);
+  EXPECT_EQ(strict.violations.front().substr(0, 3), "A3:");
+  // With monotonicity waived, the replay invariant (A4) and the rest hold.
+  EXPECT_TRUE(audit_state(state, {.monotone_utility = false}).ok());
+}
+
+TEST(AuditState, ReverseOrderSatisfiesA3Too) {
+  // Adding the near node first makes the guarded max take both updates, so
+  // even the strict monotone audit passes: the violation above is purely an
+  // insertion-order artefact, which is exactly what (A4) captures.
+  const NonMonotoneModel model;
+  core::PlacementState state(model);
+  state.add(1);
+  state.add(0);
+  EXPECT_DOUBLE_EQ(state.value(), 3.0);  // best detour 1 wins, customers 3
+  EXPECT_TRUE(audit_state(state, {.monotone_utility = true}).ok());
+}
+
+TEST(ScopedAuditor, RejectsNesting) {
+  const ScopedAuditor outer;
+  EXPECT_THROW(ScopedAuditor inner, std::logic_error);
+}
+
+TEST(ScopedAuditor, HookFiresExactlyWhenCompiledIn) {
+  const Fig4 fig;
+  const traffic::ThresholdUtility utility(Fig4::threshold);
+  const core::PlacementProblem problem(fig.net, fig.flows, Fig4::shop,
+                                       utility);
+  reset_hook_counters();
+  {
+    const ScopedAuditor auditor;
+    core::PlacementState state(problem);
+    state.add(Fig4::V3);
+    state.add(Fig4::V5);
+  }
+  if (core::kAuditCompiledIn) {
+    EXPECT_EQ(hook_audits_run(), 2u);
+  } else {
+    // No call site exists in this build: installing the hook costs nothing.
+    EXPECT_EQ(hook_audits_run(), 0u);
+  }
+  EXPECT_EQ(hook_violations_seen(), 0u);
+  EXPECT_EQ(core::placement_audit_hook(), nullptr);  // restored
+}
+
+TEST(ScopedAuditor, ViolationThrowsFromAddInAuditBuilds) {
+  if (!core::kAuditCompiledIn) {
+    GTEST_SKIP() << "hook call site only exists with RAP_AUDIT=ON";
+  }
+  const NonMonotoneModel model;
+  reset_hook_counters();
+  const ScopedAuditor auditor({.monotone_utility = true});
+  core::PlacementState state(model);
+  state.add(0);
+  EXPECT_THROW(state.add(1), std::logic_error);  // the (A3) case above
+  EXPECT_EQ(hook_violations_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace rap::check

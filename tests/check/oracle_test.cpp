@@ -1,0 +1,109 @@
+// The brute-force oracle against hand-computed Fig. 4 numbers and against
+// the production evaluator/exhaustive on instances where the semantics
+// provably coincide (non-increasing utilities).
+#include "src/check/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+#include "src/core/exhaustive.h"
+#include "src/traffic/utility.h"
+#include "tests/testing/builders.h"
+#include "tests/testing/nonmonotone.h"
+
+namespace rap::check {
+namespace {
+
+using rap::testing::Fig4;
+
+class OracleFig4 : public ::testing::Test {
+ protected:
+  OracleFig4()
+      : utility_(Fig4::threshold),
+        problem_(fig_.net, fig_.flows, Fig4::shop, utility_) {}
+
+  rap::testing::Fig4 fig_;
+  traffic::ThresholdUtility utility_;
+  core::PlacementProblem problem_;
+};
+
+TEST_F(OracleFig4, EmptyPlacementIsZero) {
+  EXPECT_EQ(oracle_evaluate(problem_, {}), 0.0);
+}
+
+TEST_F(OracleFig4, PaperValues) {
+  // V3 attracts T(2,5) + T(3,5) + T(4,3) = 6 + 3 + 6; adding V5 captures
+  // T(5,6) for the paper's total of 17.
+  const graph::NodeId v3[] = {Fig4::V3};
+  EXPECT_DOUBLE_EQ(oracle_evaluate(problem_, v3), 15.0);
+  const graph::NodeId both[] = {Fig4::V3, Fig4::V5};
+  EXPECT_DOUBLE_EQ(oracle_evaluate(problem_, both), 17.0);
+}
+
+TEST_F(OracleFig4, DuplicatesAreTolerated) {
+  const graph::NodeId twice[] = {Fig4::V3, Fig4::V3};
+  const graph::NodeId once[] = {Fig4::V3};
+  EXPECT_EQ(oracle_evaluate(problem_, twice), oracle_evaluate(problem_, once));
+}
+
+TEST_F(OracleFig4, BestSingleIsV3) {
+  const OracleBest best = oracle_best_single(problem_);
+  EXPECT_EQ(best.node, Fig4::V3);
+  EXPECT_DOUBLE_EQ(best.customers, 15.0);
+}
+
+TEST_F(OracleFig4, GainDecomposes) {
+  const graph::NodeId v3[] = {Fig4::V3};
+  EXPECT_DOUBLE_EQ(oracle_gain(problem_, v3, Fig4::V5), 2.0);
+  // Under {V3} every remaining flow is covered, so V5's uncovered-only gain
+  // is exactly the T(5,6) volume as well.
+  EXPECT_DOUBLE_EQ(oracle_uncovered_gain(problem_, v3, Fig4::V5), 2.0);
+  // On the empty placement the uncovered gain IS the singleton value.
+  EXPECT_DOUBLE_EQ(oracle_uncovered_gain(problem_, {}, Fig4::V3),
+                   oracle_evaluate(problem_, v3));
+}
+
+TEST_F(OracleFig4, ExhaustiveMatchesProductionSearch) {
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const core::PlacementResult oracle = oracle_exhaustive(problem_, k);
+    const core::PlacementResult prod =
+        core::exhaustive_optimal_placement(problem_, k);
+    EXPECT_NEAR(oracle.customers, prod.customers, 1e-12) << "k=" << k;
+    EXPECT_NEAR(core::evaluate_placement(problem_, oracle.nodes),
+                oracle.customers, 1e-12);
+  }
+}
+
+TEST_F(OracleFig4, AgreesWithEvaluatorOnMonotoneUtilities) {
+  // All 2^6 placements — feasible and exact for a non-increasing utility.
+  for (unsigned mask = 0; mask < 64; ++mask) {
+    core::Placement nodes;
+    for (graph::NodeId v = 0; v < 6; ++v) {
+      if ((mask >> v) & 1u) nodes.push_back(v);
+    }
+    EXPECT_NEAR(oracle_evaluate(problem_, nodes),
+                core::evaluate_placement(problem_, nodes), 1e-12)
+        << "mask=" << mask;
+  }
+}
+
+TEST_F(OracleFig4, ExhaustiveRejectsBadArguments) {
+  EXPECT_THROW(oracle_exhaustive(problem_, 0), std::invalid_argument);
+  EXPECT_THROW(oracle_exhaustive(problem_, 1, /*max_nodes=*/3),
+               std::invalid_argument);
+}
+
+TEST(OracleNonMonotone, DocumentsTheSemanticsGap) {
+  // On a non-monotone instance the oracle keeps the paper's f(min detour)
+  // objective while the evaluator's guarded running max keeps the earlier,
+  // larger contribution — the gap the differential fuzzer must respect.
+  const rap::testing::NonMonotoneModel model;
+  const graph::NodeId far_then_near[] = {0, 1};
+  EXPECT_DOUBLE_EQ(oracle_evaluate(model, far_then_near), 3.0);
+  EXPECT_DOUBLE_EQ(core::evaluate_placement(model, far_then_near), 9.0);
+}
+
+}  // namespace
+}  // namespace rap::check

@@ -1,0 +1,108 @@
+// The fuzzer's scenario generator: determinism, parameter ranges, the two
+// extra utility families, and the JSON reproducer.
+#include "src/check/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace rap::check {
+namespace {
+
+TEST(StepUtility, IsANonIncreasingStaircase) {
+  const StepUtility step(8.0, 4);
+  EXPECT_DOUBLE_EQ(step.probability(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(step.probability(1.9, 1.0), 1.0);   // first plateau
+  EXPECT_DOUBLE_EQ(step.probability(2.1, 1.0), 0.75);  // one notch down
+  EXPECT_DOUBLE_EQ(step.probability(8.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(step.probability(9.0, 1.0), 0.0);  // beyond the range
+  double previous = 2.0;
+  for (double d = 0.0; d <= 9.0; d += 0.05) {
+    const double p = step.probability(d, 0.5);
+    EXPECT_LE(p, previous) << "not non-increasing at d=" << d;
+    EXPECT_GE(p, 0.0);
+    previous = p;
+  }
+}
+
+TEST(StepUtility, RejectsBadArguments) {
+  EXPECT_THROW(StepUtility(0.0), std::invalid_argument);
+  EXPECT_THROW(StepUtility(5.0, 0), std::invalid_argument);
+  const StepUtility step(5.0);
+  EXPECT_THROW(step.probability(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(step.probability(1.0, 2.0), std::invalid_argument);
+}
+
+TEST(AdversarialUtility, BoundedZeroBeyondRangeAndNonMonotone) {
+  bool found_increase = false;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const AdversarialUtility utility(6.0, seed);
+    double previous = -1.0;
+    for (double d = 0.0; d <= 6.0; d += 0.05) {
+      const double p = utility.probability(d, 0.8);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 0.8);
+      if (p > previous + 1e-12 && previous >= 0.0) found_increase = true;
+      previous = p;
+    }
+    EXPECT_DOUBLE_EQ(utility.probability(6.5, 0.8), 0.0);
+  }
+  EXPECT_TRUE(found_increase) << "adversarial family never increased";
+}
+
+TEST(AdversarialUtility, DeterministicPerSeed) {
+  const AdversarialUtility a(6.0, 42);
+  const AdversarialUtility b(6.0, 42);
+  for (double d = 0.0; d <= 6.0; d += 0.3) {
+    EXPECT_EQ(a.probability(d, 1.0), b.probability(d, 1.0));
+  }
+}
+
+TEST(GenerateScenario, DeterministicAndInRange) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto a = generate_scenario(seed);
+    const auto b = generate_scenario(seed);
+    EXPECT_EQ(scenario_to_json(*a), scenario_to_json(*b)) << "seed " << seed;
+
+    const std::size_t n = a->net.num_nodes();
+    EXPECT_GE(n, 9u);   // 3x3 grid minimum
+    EXPECT_LE(n, 36u);  // 6x6 maximum
+    EXPECT_GE(a->flows.size(), 4u);
+    EXPECT_LE(a->flows.size(), 24u);
+    EXPECT_GE(a->k, 1u);
+    EXPECT_LE(a->k, 6u);
+    EXPECT_LT(a->shop, n);
+    EXPECT_GE(a->range, 2.0);
+    EXPECT_LE(a->range, 10.0);
+    EXPECT_EQ(a->problem->num_flows(), a->flows.size());
+    EXPECT_TRUE(a->net.is_strongly_connected());
+  }
+}
+
+TEST(GenerateScenario, SeedModFiveCoversEveryUtilityFamily) {
+  EXPECT_EQ(generate_scenario(5)->utility_kind, FuzzUtility::kThreshold);
+  EXPECT_EQ(generate_scenario(6)->utility_kind, FuzzUtility::kLinear);
+  EXPECT_EQ(generate_scenario(7)->utility_kind, FuzzUtility::kSqrt);
+  EXPECT_EQ(generate_scenario(8)->utility_kind, FuzzUtility::kStep);
+  EXPECT_EQ(generate_scenario(9)->utility_kind, FuzzUtility::kAdversarial);
+  EXPECT_FALSE(is_monotone(FuzzUtility::kAdversarial));
+  EXPECT_TRUE(is_monotone(FuzzUtility::kStep));
+}
+
+TEST(ScenarioToJson, ContainsTheReproducerFields) {
+  const auto scenario = generate_scenario(9);
+  const std::string json = scenario_to_json(*scenario);
+  EXPECT_NE(json.find("\"schema\": \"rap.fuzz.scenario.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"utility\": \"adversarial\""), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"edges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"flows\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"k\": " + std::to_string(scenario->k)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rap::check

@@ -1,0 +1,77 @@
+// Proof that the audit hook is structurally free when RAP_AUDIT is OFF: the
+// call site in PlacementState::add() does not exist in that configuration,
+// so even an *installed* hook never fires — zero overhead is a property of
+// the binary, not a measurement. (BENCH_audit.json quantifies the ON cost.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/check/audit.h"
+#include "src/core/evaluator.h"
+#include "src/core/greedy.h"
+#include "src/traffic/utility.h"
+#include "tests/testing/builders.h"
+
+namespace rap::core {
+namespace {
+
+std::atomic<std::uint64_t> g_hook_calls{0};
+
+void counting_hook(const PlacementState&) {
+  g_hook_calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+class AuditOverhead : public ::testing::Test {
+ protected:
+  AuditOverhead()
+      : utility_(rap::testing::Fig4::threshold),
+        problem_(fig_.net, fig_.flows, rap::testing::Fig4::shop, utility_) {}
+
+  rap::testing::Fig4 fig_;
+  traffic::ThresholdUtility utility_;
+  PlacementProblem problem_;
+};
+
+TEST_F(AuditOverhead, RegistryWorksInEveryBuild) {
+  EXPECT_EQ(placement_audit_hook(), nullptr);
+  EXPECT_EQ(set_placement_audit_hook(&counting_hook), nullptr);
+  EXPECT_EQ(placement_audit_hook(), &counting_hook);
+  EXPECT_EQ(set_placement_audit_hook(nullptr), &counting_hook);
+}
+
+TEST_F(AuditOverhead, InstalledHookFiresOnlyInAuditBuilds) {
+  g_hook_calls.store(0);
+  set_placement_audit_hook(&counting_hook);
+  PlacementState state(problem_);
+  state.add(0);
+  state.add(1);
+  state.add(1);  // duplicate: early-returns before the hook call site
+  const PlacementResult greedy = greedy_coverage_placement(problem_, 2);
+  set_placement_audit_hook(nullptr);
+
+  if (kAuditCompiledIn) {
+    // Two mutating direct adds + the greedy's internal adds.
+    EXPECT_EQ(g_hook_calls.load(), 2u + greedy.nodes.size());
+  } else {
+    // RAP_AUDIT=OFF: no call site exists anywhere in the binary. This is
+    // the zero-overhead guarantee — nothing to branch on, nothing to pay.
+    EXPECT_EQ(g_hook_calls.load(), 0u);
+  }
+}
+
+TEST_F(AuditOverhead, ScopedAuditorIsHarmlessWhenOff) {
+  rap::check::reset_hook_counters();
+  {
+    const rap::check::ScopedAuditor auditor;
+    (void)greedy_coverage_placement(problem_, 3);
+  }
+  if (kAuditCompiledIn) {
+    EXPECT_GT(rap::check::hook_audits_run(), 0u);
+  } else {
+    EXPECT_EQ(rap::check::hook_audits_run(), 0u);
+  }
+  EXPECT_EQ(rap::check::hook_violations_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace rap::core

@@ -9,6 +9,7 @@
 #include "src/core/exhaustive.h"
 #include "src/core/filtered.h"
 #include "src/manhattan/flow_class.h"
+#include "src/obs/telemetry.h"
 
 namespace rap::manhattan {
 namespace {
@@ -42,6 +43,25 @@ TEST(TwoStageGrid, RejectsZeroK) {
   EXPECT_THROW(
       two_stage_grid_placement(model, 0, TwoStageVariant::kCorners),
       std::invalid_argument);
+}
+
+TEST(TwoStageGrid, OverBudgetClampsAndSetsTheGauge) {
+  // Budget contract (core/k_policy.h): k > num_nodes clamps instead of
+  // overrunning, and reports the excess on the telemetry gauge.
+  const GridScenario scenario(5, 1.0);
+  const auto flows = mixed_flows(scenario, 10, 1);
+  const traffic::ThresholdUtility utility(100.0);
+  const GridCoverageModel model(scenario, flows, utility);
+  const std::size_t n = model.num_nodes();
+  obs::Telemetry telemetry;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    const core::PlacementResult result =
+        two_stage_grid_placement(model, n + 7, TwoStageVariant::kCorners);
+    EXPECT_LE(result.nodes.size(), n);
+  }
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("placement.k_clamped").value(),
+                   7.0);
 }
 
 TEST(TwoStageGrid, SmallKMatchesExhaustive) {
