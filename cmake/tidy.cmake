@@ -1,0 +1,57 @@
+# Runs clang-tidy over the exported compile database, restricted to the
+# project's own translation units. Invoked by the `tidy` custom target:
+#
+#   cmake --build build --target tidy
+#
+# Gated, not required: containers without LLVM tooling get a clear message
+# instead of a broken build — the static-analysis CI job is the enforced
+# gate. Prefers run-clang-tidy (parallel) and falls back to invoking
+# clang-tidy once per source file.
+if(NOT DEFINED RAP_BUILD_DIR OR NOT DEFINED RAP_SOURCE_DIR)
+  message(FATAL_ERROR "tidy.cmake needs -DRAP_BUILD_DIR=... -DRAP_SOURCE_DIR=...")
+endif()
+
+if(NOT EXISTS "${RAP_BUILD_DIR}/compile_commands.json")
+  message(FATAL_ERROR
+    "No compile database at ${RAP_BUILD_DIR}/compile_commands.json — "
+    "configure first (CMAKE_EXPORT_COMPILE_COMMANDS is ON by default).")
+endif()
+
+find_program(RAP_CLANG_TIDY NAMES clang-tidy clang-tidy-19 clang-tidy-18
+             clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14)
+if(NOT RAP_CLANG_TIDY)
+  message(FATAL_ERROR
+    "clang-tidy not found on PATH. Install LLVM tooling (apt: clang-tidy) "
+    "or rely on the static-analysis CI job, which runs it on every PR.")
+endif()
+
+find_program(RAP_RUN_CLANG_TIDY NAMES run-clang-tidy run-clang-tidy-19
+             run-clang-tidy-18 run-clang-tidy-17 run-clang-tidy-16
+             run-clang-tidy-15 run-clang-tidy-14)
+
+# Only our own TUs; system/benchmark/gtest sources in the database (there
+# are none today, but belt and braces) stay out of scope.
+set(RAP_TIDY_FILTER "${RAP_SOURCE_DIR}/(src|tools|bench|tests)/.*\\.(cpp|cc|cxx)$")
+
+if(RAP_RUN_CLANG_TIDY)
+  execute_process(
+    COMMAND "${RAP_RUN_CLANG_TIDY}" -clang-tidy-binary "${RAP_CLANG_TIDY}"
+            -p "${RAP_BUILD_DIR}" -quiet "${RAP_TIDY_FILTER}"
+    WORKING_DIRECTORY "${RAP_SOURCE_DIR}"
+    RESULT_VARIABLE tidy_result)
+else()
+  file(GLOB_RECURSE RAP_TIDY_SOURCES
+       "${RAP_SOURCE_DIR}/src/*.cpp" "${RAP_SOURCE_DIR}/tools/*.cpp"
+       "${RAP_SOURCE_DIR}/bench/*.cpp" "${RAP_SOURCE_DIR}/tests/*.cpp")
+  list(FILTER RAP_TIDY_SOURCES EXCLUDE REGEX "/fixtures/")
+  execute_process(
+    COMMAND "${RAP_CLANG_TIDY}" -p "${RAP_BUILD_DIR}" --quiet
+            ${RAP_TIDY_SOURCES}
+    WORKING_DIRECTORY "${RAP_SOURCE_DIR}"
+    RESULT_VARIABLE tidy_result)
+endif()
+
+if(NOT tidy_result EQUAL 0)
+  message(FATAL_ERROR "clang-tidy reported findings (baseline is zero)")
+endif()
+message(STATUS "clang-tidy: clean")

@@ -70,6 +70,7 @@ PlacementResult random_placement(const CoverageModel& model, std::size_t k,
   const geo::BBox square = geo::BBox::centered_square(
       model.network().position(model.shop()), model.utility().range());
   std::vector<graph::NodeId> pool;
+  pool.reserve(model.num_nodes());
   for (graph::NodeId v = 0; v < model.num_nodes(); ++v) {
     if (square.contains(model.network().position(v))) pool.push_back(v);
   }

@@ -13,6 +13,7 @@ namespace {
 
 std::vector<graph::NodeId> useful_candidates(const CoverageModel& model) {
   std::vector<graph::NodeId> out;
+  out.reserve(model.num_nodes());
   PlacementState empty(model);
   for (graph::NodeId v = 0; v < model.num_nodes(); ++v) {
     if (empty.uncovered_gain(v) > 0.0) out.push_back(v);

@@ -38,6 +38,7 @@ bool ShortestPathDag::on_some_shortest_path(NodeId v) const {
 
 std::vector<NodeId> ShortestPathDag::dag_nodes() const {
   std::vector<NodeId> out;
+  out.reserve(net_->num_nodes());
   for (NodeId v = 0; v < net_->num_nodes(); ++v) {
     if (on_some_shortest_path(v)) out.push_back(v);
   }

@@ -1,0 +1,16 @@
+// RAP001 bad fixture: libc/std randomness and wall-clock seeding. Every
+// flagged line is a distinct spelling the rule must catch.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int roll_dice() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // srand + time(
+  return std::rand() % 6;                                 // std::rand
+}
+
+int hardware_seeded() {
+  std::random_device rd;   // random_device
+  std::mt19937 gen(rd());  // mt19937
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,29 @@
+// RAP001 good fixture: seeded util::Rng plus near-miss spellings that must
+// NOT be flagged — `rand` in comments/strings, identifiers that merely
+// contain the banned words, a variable named `time`, and a member function
+// *call* spelled .time() (only free/qualified calls read the wall clock).
+#include <string>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+// Duck-typed clock: .time() / ->time() are member calls, not libc time().
+template <typename Clock>
+double sample(const Clock& clock, const Clock* clock_ptr) {
+  return clock.time() + clock_ptr->time();
+}
+
+int roll_dice(rap::util::Rng& rng, const rap::util::RunningStats& timings) {
+  // std::rand() would be wrong here; the seeded engine keeps runs
+  // reproducible across platforms.
+  const std::string label = "uses rand() internally? no.";
+  int strand_count = 3;       // identifier contains "rand"
+  double time = 0.0;          // plain variable named time, never called
+  int time_budget_ms = 100;   // identifier contains "time"
+  time += timings.mean();     // "timings.time()" spelled as a member call:
+  time += timings.count() > 0 ? 1.0 : 0.0;
+  (void)label;
+  (void)time_budget_ms;
+  return static_cast<int>(rng.next_below(6)) + strand_count +
+         static_cast<int>(time);
+}

@@ -1,0 +1,28 @@
+// RAP002 bad fixture (linted as if in src/core/): iteration-order-dependent
+// accumulation over unordered containers.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double accumulate_gains(const std::unordered_map<int, double>& gain_by_node) {
+  double total = 0.0;
+  for (const auto& [node, gain] : gain_by_node) {  // range-for over u-map
+    total += gain * 0.5 + total * 1e-9;  // order-dependent float accumulation
+  }
+  return total;
+}
+
+int first_member(const std::unordered_set<int>& chosen) {
+  for (const int node : chosen) {  // range-for over u-set
+    return node;                   // result depends on hash iteration order
+  }
+  return -1;
+}
+
+int over_temporary() {
+  int sum = 0;
+  for (const int v : std::unordered_set<int>{3, 1, 2}) {  // range-for over a temporary
+    sum ^= sum * 31 + v;
+  }
+  return sum;
+}

@@ -1,0 +1,35 @@
+// RAP002 good fixture (linted as if in src/core/): unordered containers used
+// for lookup only, sorted materialisation before iteration, and the
+// order-free annotation in both accepted positions.
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double lookup_only(const std::unordered_map<int, double>& gain_by_node,
+                   const std::vector<int>& order) {
+  double total = 0.0;
+  for (const int node : order) {  // ordered range: fine
+    const auto it = gain_by_node.find(node);
+    if (it != gain_by_node.end()) total += it->second;
+  }
+  return total;
+}
+
+std::vector<int> sorted_members(const std::unordered_set<int>& chosen) {
+  std::vector<int> out(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t annotated_count(const std::unordered_set<int>& chosen) {
+  std::size_t n = 0;
+  for (const int node : chosen) {  // rap-lint: order-free
+    if (node >= 0) ++n;  // pure count: any visit order gives the same result
+  }
+  // rap-lint: order-free
+  for (const int node : chosen) {
+    if (node < 0) ++n;
+  }
+  return n;
+}

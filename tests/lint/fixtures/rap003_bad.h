@@ -1,0 +1,7 @@
+// RAP003 bad fixture: classic include guard instead of #pragma once.
+#ifndef RAP_TESTS_LINT_FIXTURES_RAP003_BAD_H_
+#define RAP_TESTS_LINT_FIXTURES_RAP003_BAD_H_
+
+inline int answer() { return 42; }
+
+#endif  // RAP_TESTS_LINT_FIXTURES_RAP003_BAD_H_

@@ -1,0 +1,5 @@
+// RAP003 good fixture: leading comments are fine; the first *directive*
+// is #pragma once.
+#pragma once
+
+inline int answer() { return 42; }

@@ -1,0 +1,8 @@
+// RAP004 bad fixture: using-directive in a header.
+#pragma once
+
+#include <string>
+
+using namespace std;  // leaks into every includer
+
+inline string shout(const string& s) { return s + "!"; }

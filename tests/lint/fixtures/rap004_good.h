@@ -1,0 +1,14 @@
+// RAP004 good fixture: using-declarations and namespace aliases are fine;
+// only `using namespace` is banned in headers.
+#pragma once
+
+#include <string>
+
+namespace rap::fixture {
+
+using std::string;        // using-declaration: scoped, fine
+namespace alias = std;    // namespace alias: fine
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace rap::fixture

@@ -1,0 +1,13 @@
+// RAP005 bad fixture: metric/span name literals that violate the
+// rap.telemetry.v1 dotted-name grammar.
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
+
+void instrumented(rap::obs::Tracer* tracer) {
+  rap::obs::add_counter("Greedy.Iterations");      // uppercase
+  rap::obs::set_gauge("city.nodes.", 12.0);        // trailing dot
+  rap::obs::add_counter("lazy greedy.pops");       // embedded space
+  rap::obs::set_gauge("", 1.0);                    // empty name
+  rap::obs::add_counter("7days.visits");           // leading digit segment
+  const rap::obs::Span span(tracer, "Model Build");  // uppercase + space
+}

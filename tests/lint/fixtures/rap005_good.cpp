@@ -1,0 +1,18 @@
+// RAP005 good fixture: grammar-conforming names, runtime-built names
+// (out of static scope), and non-string first arguments.
+#include <string>
+
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
+
+void instrumented(rap::obs::Tracer* tracer, const std::string& experiment) {
+  rap::obs::add_counter("greedy.iterations");
+  rap::obs::add_counter("lazy_greedy.heap_pops", 3);
+  rap::obs::set_gauge("placement.k_clamped", 2.0);
+  rap::obs::observe("stage.latency_ms", 1.5);
+  rap::obs::add_counter("v2.shard_0.hits");  // digits allowed after the head
+  const rap::obs::Span span(tracer, "model_build");
+  const rap::obs::Span named("apsp");
+  // Concatenated names are built at runtime; the static rule skips them.
+  const rap::obs::Span dynamic(tracer, "experiment." + experiment);
+}

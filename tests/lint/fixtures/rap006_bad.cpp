@@ -1,0 +1,21 @@
+// RAP006 bad fixture (linted as if in src/): naked new/delete ownership.
+struct Node {
+  int value = 0;
+};
+
+Node* make_node() {
+  return new Node{7};  // naked new
+}
+
+void drop_node(Node* node) {
+  delete node;  // naked delete
+}
+
+int* make_buffer(int n) {
+  int* buf = new int[static_cast<unsigned>(n)];  // naked array new
+  return buf;
+}
+
+void drop_buffer(const int* buf) {
+  delete[] buf;  // naked array delete
+}

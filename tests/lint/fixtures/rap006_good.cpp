@@ -1,0 +1,21 @@
+// RAP006 good fixture (linted as if in src/): RAII ownership plus the two
+// `delete` spellings that are NOT expressions — deleted functions and
+// operator declarations.
+#include <memory>
+#include <vector>
+
+struct Node {
+  int value = 0;
+
+  Node(const Node&) = delete;             // deleted copy: fine
+  Node& operator=(const Node&) = delete;  // deleted assign: fine
+  Node() = default;
+};
+
+std::unique_ptr<Node> make_node() {
+  return std::make_unique<Node>();
+}
+
+std::vector<int> make_buffer(int n) {
+  return std::vector<int>(static_cast<std::size_t>(n), 0);
+}

@@ -1,0 +1,7 @@
+// RAP007 bad fixture: directives that do not parse must be reported, not
+// silently ignored — a typo'd suppression that "works" by accident would
+// hide real findings.
+int a() { return 1; }  // rap-lint: allow(RAP042)
+int b() { return 2; }  // rap-lint: allow(RAP001 RAP002)
+int c() { return 3; }  // rap-lint: frobnicate
+int d() { return 4; }  // rap-lint: allow()

@@ -1,0 +1,9 @@
+// RAP007 good fixture: every accepted directive spelling parses cleanly.
+#include <memory>
+
+int a() { return 1; }  // rap-lint: allow(RAP001)
+int b() { return 2; }  // rap-lint: allow(RAP001, RAP005)
+// rap-lint: allow-next-line(RAP006)
+int c() { return 3; }
+// rap-lint: order-free
+int d() { return 4; }

@@ -1,0 +1,37 @@
+// Suppression fixture (linted as if in src/core/): each violation below is
+// individually suppressed, so the whole file must lint clean. Removing any
+// directive must surface the matching finding (the test checks both).
+#include <cstdlib>
+#include <memory>
+#include <unordered_set>
+
+#include "src/obs/telemetry.h"
+
+int seeded_elsewhere() {
+  return std::rand();  // rap-lint: allow(RAP001)
+}
+
+std::size_t count_members(const std::unordered_set<int>& chosen) {
+  std::size_t n = 0;
+  for (const int node : chosen) {  // rap-lint: order-free
+    if (node >= 0) ++n;
+  }
+  return n;
+}
+
+// rap-lint: allow-next-line(RAP006)
+int* legacy_buffer() { return new int[8]; }
+
+void record() {
+  // rap-lint: allow-next-line(RAP005)
+  rap::obs::add_counter("Legacy.CamelCase.Name");
+}
+
+// rap-lint: allow(RAP001, RAP006) — multiple ids in one directive
+// (the directive above targets this comment line, not the code below;
+// the one below demonstrates same-line multi-id suppression)
+void multi() {
+  int* p = new int(static_cast<int>(std::rand()));  // rap-lint: allow(RAP001, RAP006)
+  // rap-lint: allow-next-line(RAP006)
+  delete p;
+}

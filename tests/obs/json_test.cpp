@@ -98,7 +98,9 @@ TEST(ToJson, TraceTreeShape) {
 
 TEST(ToJson, EscapesMetricNames) {
   Telemetry telemetry;
-  telemetry.metrics.counter("weird\"name\\with\nstuff").add(1);
+  // Hostile name on purpose: the exporter must escape it even though the
+  // rap.telemetry.v1 grammar forbids such names at instrumentation sites.
+  telemetry.metrics.counter("weird\"name\\with\nstuff").add(1);  // rap-lint: allow(RAP005)
   const std::string json = to_json(telemetry);
   EXPECT_TRUE(structurally_valid_json(json));
   EXPECT_NE(json.find(R"(weird\"name\\with\nstuff)"), std::string::npos);

@@ -1,0 +1,232 @@
+#include "tools/rap_lint/lexer.h"
+
+#include <cctype>
+
+namespace rap::lint {
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the identifier that just ended at `pos` is a valid string
+/// prefix (L, u, U, u8, R, LR, uR, UR, u8R) and the next char begins a
+/// literal. Keeps `R"x(y)x"` from reading as identifier + garbage.
+[[nodiscard]] bool is_literal_prefix(std::string_view ident) noexcept {
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8" ||
+         ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        out.push_back(scan_string());
+        continue;
+      }
+      if (c == '\'') {
+        out.push_back(scan_char());
+        continue;
+      }
+      if (is_ident_start(c)) {
+        Token tok = scan_identifier();
+        // A literal prefix glued to a quote is part of the literal.
+        if (pos_ < src_.size() && is_literal_prefix(tok.text)) {
+          if (src_[pos_] == '"') {
+            out.push_back(tok.text.back() == 'R' ? scan_raw_string()
+                                                 : scan_string());
+            continue;
+          }
+          if (src_[pos_] == '\'' && tok.text.back() != 'R') {
+            out.push_back(scan_char());
+            continue;
+          }
+        }
+        out.push_back(std::move(tok));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        out.push_back(scan_number());
+        continue;
+      }
+      // `::` is one token so rule logic can tell it from a range-for colon.
+      if (c == ':' && peek(1) == ':') {
+        out.push_back({TokenKind::kPunct, "::", line_});
+        pos_ += 2;
+        continue;
+      }
+      out.push_back({TokenKind::kPunct, std::string(1, c), line_});
+      ++pos_;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void skip_line_comment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void skip_block_comment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  Token scan_string() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string contents;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        contents.push_back(src_[pos_]);
+        contents.push_back(src_[pos_ + 1]);
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; tolerate
+      contents.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    return {TokenKind::kString, std::move(contents), start_line};
+  }
+
+  Token scan_raw_string() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string contents;
+    while (pos_ < src_.size() && src_.substr(pos_, closer.size()) != closer) {
+      if (src_[pos_] == '\n') ++line_;
+      contents.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += closer.size();
+    return {TokenKind::kString, std::move(contents), start_line};
+  }
+
+  Token scan_char() {
+    const std::size_t start_line = line_;
+    ++pos_;  // opening quote
+    std::string contents;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        contents.push_back(src_[pos_]);
+        contents.push_back(src_[pos_ + 1]);
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // unterminated; tolerate
+      contents.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    return {TokenKind::kCharLiteral, std::move(contents), start_line};
+  }
+
+  Token scan_identifier() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    return {TokenKind::kIdentifier, std::string(src_.substr(start, pos_ - start)),
+            line_};
+  }
+
+  Token scan_number() {
+    const std::size_t start = pos_;
+    // pp-number, loosely: digits, idents, dots, and sign chars after e/E/p/P
+    // (covers 1e-5, 0x1p+3, 3'300.0, 1.0f).
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    return {TokenKind::kNumber, std::string(src_.substr(start, pos_ - start)),
+            line_};
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Scanner(source).run();
+}
+
+std::vector<std::string> split_lines(std::string_view source) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '\n') {
+      std::string_view line = source.substr(start, i - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines.emplace_back(line);
+      start = i + 1;
+    }
+  }
+  if (start < source.size()) {
+    std::string_view line = source.substr(start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.emplace_back(line);
+  }
+  return lines;
+}
+
+}  // namespace rap::lint

@@ -1,0 +1,43 @@
+// Comment- and string-aware token scanner for rap_lint.
+//
+// This is deliberately not a C++ parser: rap_lint's rules (see lint.h) only
+// need to see identifiers, string-literal values, and punctuation with
+// accurate line numbers, with comments and literal *contents* out of the
+// way so that e.g. the word `rand` inside a comment or an error message
+// never trips the banned-randomness rule. The scanner understands line and
+// block comments, ordinary/char/raw string literals (including prefixes like
+// u8R"tag(...)tag"), numbers, and multi-character punctuators that matter
+// for rule logic (`::` must not read as two range-for colons).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rap::lint {
+
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords, e.g. `for`, `rand`, `Span`
+  kString,       // a string literal; `text` holds the *contents* (no quotes)
+  kCharLiteral,  // a character literal; `text` holds the contents
+  kNumber,       // numeric literal (pp-number, loosely)
+  kPunct,        // punctuation; multi-char for `::`, otherwise one char
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;       // identifier spelling, literal contents, or punct
+  std::size_t line = 0;   // 1-based source line of the token's first char
+};
+
+/// Scans `source` into tokens, discarding comments and whitespace.
+/// Unterminated literals/comments are tolerated (scan stops at EOF) so the
+/// linter degrades gracefully on malformed input instead of throwing.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+/// Splits `source` into lines (without terminators); `\r\n` is handled.
+/// Line i of the result corresponds to token line i+1.
+[[nodiscard]] std::vector<std::string> split_lines(std::string_view source);
+
+}  // namespace rap::lint

@@ -1,0 +1,79 @@
+// rap_lint: project-specific source hygiene rules that clang-tidy cannot
+// know. Token/line based (see lexer.h) — no libclang dependency, so the
+// linter builds and runs everywhere the project does.
+//
+// Rules (IDs are stable; see DESIGN.md §10 for the rationale table):
+//
+//   RAP001 banned-randomness   std::rand / srand / time( / random_device /
+//                              mt19937 anywhere except src/util/rng.* — all
+//                              randomness must flow through the seeded
+//                              util::Rng so runs stay reproducible.
+//   RAP002 unordered-iteration range-for over an unordered_map/unordered_set
+//                              in src/core/ or src/check/ — iteration order
+//                              is implementation-defined, which breaks the
+//                              bit-identical serial-vs-parallel contract.
+//                              Annotate `// rap-lint: order-free` when the
+//                              loop body is genuinely order-insensitive.
+//   RAP003 pragma-once         every header starts with #pragma once.
+//   RAP004 using-namespace     headers must not contain `using namespace`.
+//   RAP005 telemetry-name      whole-literal metric/span names passed to the
+//                              obs API must match the rap.telemetry.v1
+//                              grammar: [a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*.
+//   RAP006 naked-new-delete    no `new` / `delete` expressions in src/ —
+//                              ownership goes through smart pointers and
+//                              containers.
+//
+// Suppression syntax (matched anywhere in a comment on the line):
+//   // rap-lint: allow(RAP001)            suppress on this line
+//   // rap-lint: allow(RAP001, RAP005)    several rules at once
+//   // rap-lint: allow-next-line(RAP002)  suppress on the following line
+//   // rap-lint: order-free               RAP002-specific annotation, same
+//                                         line or preceding line of the for
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rap::lint {
+
+struct Finding {
+  std::string rule;     // e.g. "RAP001"
+  std::string path;     // repo-relative path as passed to lint_file
+  std::size_t line = 0;  // 1-based
+  std::string message;
+};
+
+/// How a path participates in the rule set; derived from its repo-relative
+/// spelling by classify_path(). Kept public so tests can pin any class onto
+/// fixture content regardless of where the fixture lives on disk.
+struct FileClass {
+  bool is_header = false;        // RAP003 / RAP004 apply
+  bool rng_exempt = false;       // src/util/rng.* — RAP001 does not apply
+  bool determinism_core = false; // src/core/ or src/check/ — RAP002 applies
+  bool in_src = false;           // src/ — RAP006 applies
+};
+
+/// Derives the file class from a repo-relative path like "src/core/greedy.cpp".
+[[nodiscard]] FileClass classify_path(std::string_view path);
+
+/// Lints one file's contents. `path` is used for report labels and, via
+/// classify_path, rule applicability.
+[[nodiscard]] std::vector<Finding> lint_file(std::string_view path,
+                                             std::string_view source);
+
+/// Lints with an explicit file class (fixture tests pretend a snippet lives
+/// in src/core/ without putting it there).
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view source,
+                                               const FileClass& file_class);
+
+/// One report line: "path:line: [RAP00x] message".
+[[nodiscard]] std::string format_finding(const Finding& finding);
+
+/// All rule IDs the linter knows, in ascending order (for --list-rules and
+/// for validating suppression comments).
+[[nodiscard]] const std::vector<std::string>& known_rules();
+
+}  // namespace rap::lint

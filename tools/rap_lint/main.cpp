@@ -1,0 +1,132 @@
+// rap_lint CLI — lints the project tree for determinism/hygiene rules that
+// clang-tidy cannot know (see tools/rap_lint/lint.h for the rule table).
+//
+//   rap_lint [--root DIR] PATH...     lint files/directories (repo-relative)
+//   rap_lint --list-rules             print known rule ids
+//
+// Exit code 0: clean. 1: findings. 2: usage or I/O error.
+//
+// Directories are walked recursively for C++ sources; any directory named
+// `fixtures` is skipped — lint-rule fixtures violate the rules on purpose.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/rap_lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool is_cpp_source(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".hh";
+}
+
+[[nodiscard]] bool in_fixture_dir(const fs::path& rel) {
+  for (const fs::path& part : rel) {
+    if (part == "fixtures") return true;
+  }
+  return false;
+}
+
+void collect_files(const fs::path& root, const fs::path& rel,
+                   std::vector<fs::path>& out) {
+  const fs::path abs = root / rel;
+  if (fs::is_regular_file(abs)) {
+    if (is_cpp_source(abs) && !in_fixture_dir(rel)) out.push_back(rel);
+    return;
+  }
+  if (!fs::is_directory(abs)) {
+    throw std::runtime_error("no such file or directory: " + abs.string());
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+    if (!entry.is_regular_file() || !is_cpp_source(entry.path())) continue;
+    const fs::path rel_path = fs::relative(entry.path(), root);
+    if (in_fixture_dir(rel_path)) continue;
+    out.push_back(rel_path);
+  }
+}
+
+[[nodiscard]] std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : rap::lint::known_rules()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "rap_lint: --root requires a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: rap_lint [--root DIR] PATH...\n"
+                   "       rap_lint --list-rules\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "rap_lint: unknown option " << arg << "\n";
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: rap_lint [--root DIR] PATH...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  try {
+    for (const std::string& p : paths) collect_files(root, p, files);
+  } catch (const std::exception& e) {
+    std::cerr << "rap_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::size_t total = 0;
+  for (const fs::path& rel : files) {
+    std::string source;
+    try {
+      source = read_file(root / rel);
+    } catch (const std::exception& e) {
+      std::cerr << "rap_lint: " << e.what() << "\n";
+      return 2;
+    }
+    // generic_string: forward slashes on every platform, so path-based
+    // rule classification and report labels are stable.
+    const std::vector<rap::lint::Finding> findings =
+        rap::lint::lint_file(rel.generic_string(), source);
+    for (const rap::lint::Finding& f : findings) {
+      std::cout << rap::lint::format_finding(f) << "\n";
+    }
+    total += findings.size();
+  }
+  if (total > 0) {
+    std::cerr << "rap_lint: " << total << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
