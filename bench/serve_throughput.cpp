@@ -1,0 +1,131 @@
+// Serve-path throughput bench: requests/second through Server::handle_line
+// on the Seattle-grid preset, across the three regimes the scenario cache
+// and warm-start engine are built for:
+//   * cold   — every load misses the cache (cache disabled), so each
+//              request pays the full scenario build (Dijkstras) plus a
+//              from-scratch greedy;
+//   * cached — load hits the scenario cache, so the request pays only
+//              session setup plus a from-scratch greedy;
+//   * warm   — repeated place on a live session, reusing warm-start state.
+// Writes BENCH_serve.json. The acceptance bar: cached place >= 5x cold.
+//
+//   serve_throughput [--out=BENCH_serve.json] [--iters=5] [--k=8]
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/util/cli.h"
+
+namespace {
+
+using namespace rap;
+
+struct Regime {
+  std::string name;
+  double ms_per_request = 0.0;
+  [[nodiscard]] double requests_per_second() const {
+    return ms_per_request > 0.0 ? 1'000.0 / ms_per_request : 0.0;
+  }
+};
+
+std::string expect_ok(serve::Server& server, const std::string& line) {
+  std::string response = server.handle_line(line);
+  const serve::JsonValue parsed = serve::parse_json(response);
+  if (!parsed.as_object().at("ok").as_bool()) {
+    throw std::runtime_error("request failed: " + response);
+  }
+  return response;
+}
+
+/// Best-of-iters wall time for one request, in ms.
+template <typename Fn>
+double time_best_ms(std::size_t iters, Fn&& fn) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliFlags flags(argc, argv);
+    const std::string out = flags.get_string("out", "BENCH_serve.json");
+    const auto iters = static_cast<std::size_t>(flags.get_int("iters", 5));
+    const auto k = static_cast<std::size_t>(flags.get_int("k", 8));
+
+    const std::string load_line =
+        R"({"op":"load","city":"seattle","seed":7,"journeys":100,"d":2500})";
+    const std::string place_line =
+        R"({"op":"place","k":)" + std::to_string(k) + "}";
+
+    std::vector<Regime> regimes;
+
+    {
+      serve::ServerOptions options;
+      options.cache_bytes = 0;  // every load rebuilds the scenario
+      serve::Server server(options);
+      regimes.push_back({"cold", time_best_ms(iters, [&] {
+                           expect_ok(server, load_line);
+                           expect_ok(server, place_line);
+                         })});
+    }
+    {
+      serve::Server server;
+      expect_ok(server, load_line);  // prime the cache
+      regimes.push_back({"cached", time_best_ms(iters, [&] {
+                           expect_ok(server, load_line);
+                           expect_ok(server, place_line);
+                         })});
+      // Warm regime: same session, place only; after the first place every
+      // further one reuses warm-start state.
+      expect_ok(server, place_line);
+      regimes.push_back({"warm", time_best_ms(iters, [&] {
+                           expect_ok(server, place_line);
+                         })});
+    }
+
+    const double speedup = regimes[0].ms_per_request > 0.0
+                               ? regimes[0].ms_per_request /
+                                     regimes[1].ms_per_request
+                               : 0.0;
+
+    std::ofstream file(out);
+    file << "{\n  \"bench\": \"serve_throughput\",\n"
+         << "  \"city\": \"seattle\",\n"
+         << "  \"k\": " << k << ",\n  \"iters\": " << iters << ",\n"
+         << "  \"cached_over_cold_speedup\": " << speedup << ",\n"
+         << "  \"regimes\": [\n";
+    for (std::size_t i = 0; i < regimes.size(); ++i) {
+      const Regime& regime = regimes[i];
+      file << "    {\"name\": \"" << regime.name << "\", \"ms_per_request\": "
+           << regime.ms_per_request << ", \"requests_per_second\": "
+           << regime.requests_per_second() << "}"
+           << (i + 1 < regimes.size() ? "," : "") << "\n";
+    }
+    file << "  ]\n}\n";
+
+    for (const Regime& regime : regimes) {
+      std::cout << regime.name << ": " << regime.ms_per_request
+                << " ms/request (" << regime.requests_per_second()
+                << " req/s)\n";
+    }
+    std::cout << "cached place is " << speedup << "x cold; wrote " << out
+              << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "serve_throughput: " << error.what() << "\n";
+    return 1;
+  }
+}

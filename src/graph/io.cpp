@@ -11,27 +11,36 @@
 namespace rap::graph {
 namespace {
 
-[[noreturn]] void fail(const std::string& message) {
-  throw std::invalid_argument("network csv: " + message);
+// Positional error context: every failure names the source (file name or
+// "<string>") and the 1-based line of the row being parsed, so a malformed
+// network file is diagnosable without bisecting it by hand.
+struct ParsePosition {
+  std::string_view source;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(const ParsePosition& at, const std::string& message) {
+  throw std::invalid_argument(std::string(at.source) + ":" +
+                              std::to_string(at.line) + ": " + message);
 }
 
-double parse_double(const std::string& text) {
+double parse_double(const ParsePosition& at, const std::string& text) {
   try {
     std::size_t used = 0;
     const double out = std::stod(text, &used);
-    if (used != text.size()) fail("not a number: '" + text + "'");
+    if (used != text.size()) fail(at, "not a number: '" + text + "'");
     return out;
   } catch (const std::logic_error&) {
-    fail("not a number: '" + text + "'");
+    fail(at, "not a number: '" + text + "'");
   }
 }
 
-NodeId parse_node(const std::string& text) {
+NodeId parse_node(const ParsePosition& at, const std::string& text) {
   NodeId out = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), out);
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    fail("not a node id: '" + text + "'");
+    fail(at, "not a node id: '" + text + "'");
   }
   return out;
 }
@@ -53,23 +62,38 @@ std::string network_to_csv(const RoadNetwork& net) {
   return out.str();
 }
 
-RoadNetwork network_from_csv(std::string_view text) {
+RoadNetwork network_from_csv(std::string_view text,
+                             std::string_view source_name) {
   RoadNetwork net;
-  for (const auto& row : util::parse_csv(text)) {
+  std::vector<util::CsvRecord> records;
+  try {
+    records = util::parse_csv_records(text);
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(std::string(source_name) + ": " + error.what());
+  }
+  for (const util::CsvRecord& record : records) {
+    const auto& row = record.fields;
+    const ParsePosition at{source_name, record.line};
     if (row.empty()) continue;
     if (row[0] == "node") {
-      if (row.size() != 3) fail("node row needs x,y");
-      net.add_node({parse_double(row[1]), parse_double(row[2])});
+      if (row.size() != 3) fail(at, "node row needs x,y");
+      net.add_node({parse_double(at, row[1]), parse_double(at, row[2])});
     } else if (row[0] == "edge") {
-      if (row.size() != 4) fail("edge row needs from,to,length");
-      const NodeId from = parse_node(row[1]);
-      const NodeId to = parse_node(row[2]);
+      if (row.size() != 4) fail(at, "edge row needs from,to,length");
+      const NodeId from = parse_node(at, row[1]);
+      const NodeId to = parse_node(at, row[2]);
       if (from >= net.num_nodes() || to >= net.num_nodes()) {
-        fail("edge references an undeclared node");
+        fail(at, "edge references an undeclared node");
       }
-      net.add_edge(from, to, parse_double(row[3]));
+      try {
+        net.add_edge(from, to, parse_double(at, row[3]));
+      } catch (const std::invalid_argument& error) {
+        // RoadNetwork rejects self-loops and non-positive/non-finite
+        // lengths; re-anchor its message to the offending row.
+        fail(at, error.what());
+      }
     } else {
-      fail("unknown row kind '" + row[0] + "'");
+      fail(at, "unknown row kind '" + row[0] + "'");
     }
   }
   return net;
@@ -98,7 +122,7 @@ RoadNetwork read_network_csv(const std::filesystem::path& path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return network_from_csv(buffer.str());
+  return network_from_csv(buffer.str(), path.string());
 }
 
 }  // namespace rap::graph

@@ -23,8 +23,13 @@ namespace rap::graph {
 
 /// Parses a network. Throws std::invalid_argument on malformed rows,
 /// unknown row kinds, edges before all their endpoints, or invalid edge
-/// data (RoadNetwork's own validation applies).
-[[nodiscard]] RoadNetwork network_from_csv(std::string_view text);
+/// data (RoadNetwork's own validation applies). Every parse error names the
+/// source and the 1-based line of the offending row, e.g.
+/// "net.csv:7: edge row needs from,to,length". `source_name` labels the
+/// text's origin ("<string>" by default; the file wrapper passes the path).
+[[nodiscard]] RoadNetwork network_from_csv(std::string_view text,
+                                           std::string_view source_name =
+                                               "<string>");
 
 /// File wrappers (throw std::runtime_error on I/O failure).
 void write_network_csv(const std::filesystem::path& path,

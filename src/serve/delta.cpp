@@ -1,0 +1,176 @@
+#include "src/serve/delta.h"
+
+#include <cmath>
+#include <queue>
+
+#include "src/core/evaluator.h"
+#include "src/core/k_policy.h"
+
+namespace rap::serve {
+namespace {
+
+/// Stamp marking a heap entry as a warm seed (an upper bound, not a cached
+/// evaluation). Never equal to a selection count: budgets clamp to
+/// num_nodes < 2^32 - 1.
+constexpr std::uint32_t kSeedStamp = 0xffffffffU;
+
+/// Relative inflation applied to every seed. Stored gains are exact for the
+/// pre-delta model; recomputing them on the post-delta model can differ in
+/// the last ulps, so the seeds get a margin far above fp noise (1e-9
+/// relative vs ~1e-16) yet far below any real gain difference. A fresh gain
+/// above the inflated seed is a genuine bound violation.
+constexpr double kSeedSlack = 1e-9;
+
+struct Entry {
+  double gain;
+  graph::NodeId node;
+  std::uint32_t stamp;
+};
+
+// Identical ordering to core/lazy_greedy.cpp: ties break to the lowest node
+// id, which is what keeps warm selections bit-identical to the eager greedy.
+struct EntryLess {
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;
+  }
+};
+
+using Heap = std::priority_queue<Entry, std::vector<Entry>, EntryLess>;
+
+void check_deadline(const Deadline& deadline) {
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() > *deadline) {
+    throw DeadlineExceeded("placement deadline exceeded");
+  }
+}
+
+/// From-scratch run: full round-0 scan (recorded as exact warm gains), then
+/// the CELF loop exactly as core/lazy_greedy.cpp runs it.
+WarmStartResult run_cold(const core::CoverageModel& model, std::size_t k,
+                         WarmState* refresh, const Deadline& deadline) {
+  WarmStartResult out;
+  core::PlacementState state(model);
+  Heap heap;
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  std::vector<double> round0(n, 0.0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double gain = state.gain_if_added(v);
+    round0[v] = gain;
+    heap.push({gain, v, 0});
+    ++out.gain_evaluations;
+  }
+  std::uint32_t selections = 0;
+  while (state.placement().size() < k && !heap.empty()) {
+    check_deadline(deadline);
+    const Entry top = heap.top();
+    heap.pop();
+    if (top.stamp != selections) {
+      const double gain = state.gain_if_added(top.node);
+      ++out.gain_evaluations;
+      if (gain > 0.0) heap.push({gain, top.node, selections});
+      continue;
+    }
+    if (top.gain <= 0.0) break;
+    state.add(top.node);
+    ++selections;
+  }
+  out.placement = {state.placement(), state.value()};
+  if (refresh != nullptr) {
+    refresh->valid = true;
+    refresh->gains = std::move(round0);
+  }
+  return out;
+}
+
+/// Seeded run. Returns false on a bound violation (caller falls back); only
+/// then is `out` unusable.
+bool run_warm(const core::CoverageModel& model, std::size_t k,
+              const WarmState& warm, WarmState* refresh,
+              const Deadline& deadline, WarmStartResult& out) {
+  core::PlacementState state(model);
+  Heap heap;
+  const auto n = static_cast<graph::NodeId>(model.num_nodes());
+  std::vector<double> round0 = warm.gains;  // refined where re-evaluated
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const double seed =
+        warm.gains[v] + kSeedSlack * (std::fabs(warm.gains[v]) + 1.0);
+    heap.push({seed, v, kSeedStamp});
+  }
+  std::uint32_t selections = 0;
+  while (state.placement().size() < k && !heap.empty()) {
+    check_deadline(deadline);
+    const Entry top = heap.top();
+    heap.pop();
+    if (top.stamp != selections) {
+      const double gain = state.gain_if_added(top.node);
+      ++out.gain_evaluations;
+      // The audited bound: a marginal gain can never exceed the node's seed
+      // (round-0 bound plus slack). Exceeding it means a delta was not
+      // accounted for — discard the warm state rather than risk a wrong
+      // placement.
+      if (top.stamp == kSeedStamp && gain > top.gain) return false;
+      if (selections == 0) round0[top.node] = gain;  // exact round-0 value
+      if (gain > 0.0) heap.push({gain, top.node, selections});
+      continue;
+    }
+    if (top.gain <= 0.0) break;
+    state.add(top.node);
+    ++selections;
+  }
+  out.placement = {state.placement(), state.value()};
+  out.reused = true;
+  if (refresh != nullptr) {
+    refresh->valid = true;
+    refresh->gains = std::move(round0);
+  }
+  return true;
+}
+
+}  // namespace
+
+void apply_delta_bound(WarmState& state, const DeltaOp& op,
+                       const std::vector<traffic::TrafficFlow>& flows_before,
+                       const traffic::UtilityFunction& utility) {
+  if (!state.valid) return;
+  double bound = 0.0;
+  const std::vector<graph::NodeId>* path = nullptr;
+  switch (op.kind) {
+    case DeltaOp::Kind::kAddFlow:
+      bound = utility.probability(0.0, op.flow.alpha) * op.flow.population();
+      path = &op.flow.path;
+      break;
+    case DeltaOp::Kind::kRemoveFlow:
+      return;  // gains can only shrink
+    case DeltaOp::Kind::kScaleFlow: {
+      if (op.factor <= 1.0) return;  // scale-down: gains can only shrink
+      const traffic::TrafficFlow& flow = flows_before.at(op.index);
+      bound = (op.factor - 1.0) * utility.probability(0.0, flow.alpha) *
+              flow.population();
+      path = &flow.path;
+      break;
+    }
+  }
+  for (const graph::NodeId node : *path) {
+    if (node < state.gains.size()) state.gains[node] += bound;
+  }
+}
+
+WarmStartResult warm_start_marginal_greedy(const core::CoverageModel& model,
+                                           std::size_t k, const WarmState& warm,
+                                           WarmState* refresh,
+                                           Deadline deadline) {
+  k = core::checked_budget(model, k, "serve warm-start placement");
+  if (warm.valid && warm.gains.size() == model.num_nodes()) {
+    WarmStartResult out;
+    if (run_warm(model, k, warm, refresh, deadline, out)) return out;
+    // Audited bound violated: the warm state lied. Recover with a full run
+    // (which also rebuilds exact warm gains).
+    WarmStartResult cold = run_cold(model, k, refresh, deadline);
+    cold.fell_back = true;
+    return cold;
+  }
+  return run_cold(model, k, refresh, deadline);
+}
+
+}  // namespace rap::serve

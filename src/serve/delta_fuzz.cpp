@@ -1,0 +1,165 @@
+#include "src/serve/delta_fuzz.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/check/scenario.h"
+#include "src/core/evaluator.h"
+#include "src/core/lazy_greedy.h"
+#include "src/serve/session.h"
+#include "src/util/rng.h"
+
+namespace rap::serve {
+namespace {
+
+/// Adopts a generated check::Scenario as a pinned ServeScenario (moving the
+/// network, flows and utility; the scenario's own problem is dropped and a
+/// serve-style problem with a shared detour engine is built instead).
+std::shared_ptr<const ServeScenario> adopt_scenario(
+    std::unique_ptr<check::Scenario> scenario) {
+  auto serve = std::make_shared<ServeScenario>();
+  serve->key = scenario->seed;
+  serve->summary = "fuzz scenario seed " + std::to_string(scenario->seed);
+  scenario->problem.reset();  // held pointers into net/utility; drop first
+  serve->net = std::move(scenario->net);
+  serve->flows = std::move(scenario->flows);
+  serve->utility = std::move(scenario->utility);
+  serve->shop = scenario->shop;
+  serve->detours = std::make_shared<const traffic::DetourCalculator>(
+      serve->net, serve->shop);
+  serve->problem = std::make_unique<core::PlacementProblem>(
+      serve->net, serve->flows, serve->shop, *serve->utility,
+      std::make_unique<SharedDetours>(serve->detours));
+  return serve;
+}
+
+/// Draws the next delta op, or nothing when the drawn op is infeasible
+/// (unreachable OD pair, empty flow set).
+bool draw_op(util::Rng& rng, const Session& session, DeltaOp& op) {
+  const graph::RoadNetwork& net = session.scenario().net;
+  const std::size_t flows = session.flows().size();
+  switch (rng.next_below(3)) {
+    case 0: {  // add_flow over a random reachable OD pair
+      const auto origin = static_cast<graph::NodeId>(
+          rng.next_below(net.num_nodes()));
+      const auto destination = static_cast<graph::NodeId>(
+          rng.next_below(net.num_nodes()));
+      const double vehicles = 0.5 + rng.next_double() * 20.0;
+      const double passengers = 1.0 + rng.next_double() * 4.0;
+      const double alpha = 0.001 + rng.next_double() * 0.5;
+      if (origin == destination) return false;
+      try {
+        op.kind = DeltaOp::Kind::kAddFlow;
+        op.flow = traffic::make_shortest_path_flow(net, origin, destination,
+                                                   vehicles, passengers, alpha);
+        return true;
+      } catch (const std::exception&) {
+        return false;  // unreachable pair; the round just draws fewer ops
+      }
+    }
+    case 1: {  // remove_flow
+      if (flows == 0) return false;
+      op.kind = DeltaOp::Kind::kRemoveFlow;
+      op.index = rng.next_below(flows);
+      return true;
+    }
+    default: {  // scale_flow, both up and down
+      if (flows == 0) return false;
+      op.kind = DeltaOp::Kind::kScaleFlow;
+      op.index = rng.next_below(flows);
+      op.factor = 0.25 + rng.next_double() * 2.75;
+      return true;
+    }
+  }
+}
+
+/// One warm-vs-scratch comparison on the session's current flow state.
+/// Returns false and fills `message` on divergence.
+bool compare_round(Session& session, std::size_t k, std::size_t round,
+                   std::string& message) {
+  const WarmStartResult warm = session.place(k);
+
+  const ServeScenario& scenario = session.scenario();
+  const core::PlacementProblem reference(scenario.net, session.flows(),
+                                         scenario.shop, *scenario.utility);
+  const core::PlacementResult scratch =
+      core::lazy_marginal_greedy_placement(reference, k);
+
+  std::ostringstream error;
+  if (warm.placement.nodes != scratch.nodes) {
+    error << "round " << round << ": placement diverged (warm [";
+    for (const graph::NodeId v : warm.placement.nodes) error << " " << v;
+    error << " ] vs scratch [";
+    for (const graph::NodeId v : scratch.nodes) error << " " << v;
+    error << " ])";
+    message = error.str();
+    return false;
+  }
+  if (warm.placement.customers != scratch.customers) {
+    error.precision(17);
+    error << "round " << round << ": value diverged (warm "
+          << warm.placement.customers << " vs scratch " << scratch.customers
+          << ")";
+    message = error.str();
+    return false;
+  }
+  const double warm_eval = session.evaluate(warm.placement.nodes);
+  const double scratch_eval =
+      core::evaluate_placement(reference, scratch.nodes);
+  if (warm_eval != scratch_eval) {
+    error.precision(17);
+    error << "round " << round << ": evaluate diverged (session " << warm_eval
+          << " vs scratch " << scratch_eval << ")";
+    message = error.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DeltaFuzzReport fuzz_delta_one(std::uint64_t seed,
+                               const DeltaFuzzOptions& options) {
+  DeltaFuzzReport report;
+  report.seed = seed;
+
+  std::unique_ptr<check::Scenario> generated = check::generate_scenario(seed);
+  if (!check::is_monotone(generated->utility_kind)) {
+    report.skipped = true;
+    return report;
+  }
+  const std::size_t k = generated->k;
+  Session session(adopt_scenario(std::move(generated)));
+
+  // Distinct stream from the scenario generator so op draws never correlate
+  // with instance structure.
+  util::Rng rng(seed ^ 0xde17a5eedULL);
+
+  // Round 0: cold parity before any delta.
+  if (!compare_round(session, k, 0, report.message)) {
+    report.ok = false;
+    return report;
+  }
+  ++report.rounds_run;
+
+  for (std::size_t round = 1; round <= options.rounds; ++round) {
+    for (std::size_t i = 0; i < options.ops_per_round; ++i) {
+      DeltaOp op;
+      if (!draw_op(rng, session, op)) continue;
+      session.apply_delta(op);
+      ++report.deltas_applied;
+    }
+    if (!compare_round(session, k, round, report.message)) {
+      report.ok = false;
+      break;
+    }
+    ++report.rounds_run;
+  }
+  report.warm_reused = session.stats().warm_reused;
+  report.warm_fallbacks = session.stats().warm_fallbacks;
+  return report;
+}
+
+}  // namespace rap::serve

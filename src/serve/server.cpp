@@ -1,0 +1,410 @@
+#include "src/serve/server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "src/traffic/flow.h"
+#include "src/util/thread_pool.h"
+
+namespace rap::serve {
+namespace {
+
+std::string hex_key(std::uint64_t key) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buffer;
+}
+
+JsonValue ok_base() {
+  JsonValue::Object object;
+  object.emplace("schema", kServeSchema);
+  object.emplace("ok", true);
+  return JsonValue(std::move(object));
+}
+
+JsonValue error_response(const JsonValue* id, const std::string& code,
+                         const std::string& message) {
+  JsonValue::Object error;
+  error.emplace("code", code);
+  error.emplace("message", message);
+  JsonValue::Object object;
+  object.emplace("schema", kServeSchema);
+  object.emplace("ok", false);
+  object.emplace("error", JsonValue(std::move(error)));
+  if (id != nullptr) object.emplace("id", *id);
+  return JsonValue(std::move(object));
+}
+
+/// Per-request deadline from the optional "deadline_ms" field.
+Deadline parse_deadline(const JsonValue::Object& request) {
+  const double ms = get_number(request, "deadline_ms", 0.0);
+  if (ms <= 0.0) return {};
+  return std::chrono::steady_clock::now() +
+         std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
+}
+
+std::size_t parse_budget(const JsonValue::Object& request) {
+  const double k = require_number(request, "k");
+  if (k < 1.0 || k != static_cast<double>(static_cast<std::size_t>(k))) {
+    throw RequestError("bad_request", "k must be a positive integer");
+  }
+  return static_cast<std::size_t>(k);
+}
+
+graph::NodeId parse_node(const JsonValue& value, const char* what) {
+  if (!value.is_number()) {
+    throw RequestError("bad_request", std::string(what) + " must be a number");
+  }
+  const double raw = value.as_number();
+  if (raw < 0.0 || raw != static_cast<double>(static_cast<graph::NodeId>(raw))) {
+    throw RequestError("bad_request",
+                       std::string(what) + " must be a non-negative node id");
+  }
+  return static_cast<graph::NodeId>(raw);
+}
+
+JsonValue placement_json(const WarmStartResult& result) {
+  JsonValue::Object object;
+  JsonValue::Array nodes;
+  nodes.reserve(result.placement.nodes.size());
+  for (const graph::NodeId node : result.placement.nodes) {
+    nodes.emplace_back(static_cast<double>(node));
+  }
+  object.emplace("nodes", JsonValue(std::move(nodes)));
+  object.emplace("customers", result.placement.customers);
+  object.emplace("warm_reused", result.reused);
+  object.emplace("warm_fell_back", result.fell_back);
+  object.emplace("gain_evaluations",
+                 static_cast<double>(result.gain_evaluations));
+  return JsonValue(std::move(object));
+}
+
+DeltaOp parse_delta_op(const JsonValue& value, const graph::RoadNetwork& net) {
+  if (!value.is_object()) {
+    throw RequestError("bad_request", "delta ops must be objects");
+  }
+  const JsonValue::Object& object = value.as_object();
+  const std::string& kind = require_string(object, "kind");
+  DeltaOp op;
+  if (kind == "add_flow") {
+    op.kind = DeltaOp::Kind::kAddFlow;
+    const JsonValue* origin = find_field(object, "origin");
+    const JsonValue* destination = find_field(object, "destination");
+    if (origin == nullptr || destination == nullptr) {
+      throw RequestError("bad_request", "add_flow needs origin + destination");
+    }
+    const double vehicles = get_number(object, "vehicles", 1.0);
+    const double passengers = get_number(object, "passengers_per_vehicle", 1.0);
+    const double alpha = get_number(object, "alpha", 0.001);
+    try {
+      op.flow = traffic::make_shortest_path_flow(
+          net, parse_node(*origin, "origin"),
+          parse_node(*destination, "destination"), vehicles, passengers, alpha);
+    } catch (const RequestError&) {
+      throw;
+    } catch (const std::exception& error) {
+      throw RequestError("bad_request", error.what());
+    }
+  } else if (kind == "remove_flow" || kind == "scale_flow") {
+    op.kind = kind == "remove_flow" ? DeltaOp::Kind::kRemoveFlow
+                                    : DeltaOp::Kind::kScaleFlow;
+    const double index = require_number(object, "index");
+    if (index < 0.0 ||
+        index != static_cast<double>(static_cast<std::size_t>(index))) {
+      throw RequestError("bad_request", "index must be a non-negative integer");
+    }
+    op.index = static_cast<std::size_t>(index);
+    if (op.kind == DeltaOp::Kind::kScaleFlow) {
+      op.factor = require_number(object, "factor");
+    }
+  } else {
+    throw RequestError("bad_request", "unknown delta kind '" + kind +
+                                          "' (add_flow|remove_flow|scale_flow)");
+  }
+  return op;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(options), cache_(options.cache_bytes) {}
+
+Session& Server::session_or_throw() {
+  if (session_ == nullptr) {
+    throw RequestError("no_session", "no scenario loaded; send a load request");
+  }
+  return *session_;
+}
+
+JsonValue Server::handle_load(const JsonValue::Object& request) {
+  ScenarioSpec spec;
+  spec.city = get_string(request, "city", "");
+  spec.seed = static_cast<std::uint64_t>(get_number(request, "seed", 1.0));
+  spec.journeys =
+      static_cast<std::size_t>(get_number(request, "journeys", 100.0));
+  spec.network_path = get_string(request, "network_path", "");
+  spec.flows_path = get_string(request, "flows_path", "");
+  spec.network_csv = get_string(request, "network_csv", "");
+  spec.flows_csv = get_string(request, "flows_csv", "");
+  spec.utility = get_string(request, "utility", "linear");
+  spec.range = get_number(request, "d", 2'500.0);
+  if (const JsonValue* shop = find_field(request, "shop"); shop != nullptr) {
+    spec.shop = parse_node(*shop, "shop");
+  }
+  spec.shop_class = get_string(request, "shop_class", "city");
+
+  std::shared_ptr<const ServeScenario> scenario;
+  bool cached = false;
+  try {
+    const std::uint64_t key = scenario_key(spec);
+    scenario = cache_.lookup(key);
+    cached = scenario != nullptr;
+    if (!cached) {
+      scenario = build_scenario(spec, key);
+      cache_.insert(scenario);
+    }
+  } catch (const RequestError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw RequestError("bad_scenario", error.what());
+  }
+  session_ = std::make_unique<Session>(scenario);
+
+  JsonValue response = ok_base();
+  JsonValue::Object& object = response.as_object();
+  object.emplace("key", hex_key(scenario->key));
+  object.emplace("cached", cached);
+  object.emplace("summary", scenario->summary);
+  object.emplace("nodes", static_cast<double>(scenario->net.num_nodes()));
+  object.emplace("flows", static_cast<double>(scenario->flows.size()));
+  object.emplace("shop", static_cast<double>(scenario->shop));
+  return response;
+}
+
+JsonValue Server::handle_place(const JsonValue::Object& request) {
+  Session& session = session_or_throw();
+  const WarmStartResult result =
+      session.place(parse_budget(request), parse_deadline(request));
+  JsonValue response = ok_base();
+  JsonValue::Object& object = response.as_object();
+  object.emplace("result", placement_json(result));
+  return response;
+}
+
+JsonValue Server::handle_place_batch(const JsonValue::Object& request) {
+  Session& session = session_or_throw();
+  const JsonValue* ks = find_field(request, "ks");
+  if (ks == nullptr || !ks->is_array() || ks->as_array().empty()) {
+    throw RequestError("bad_request", "ks must be a non-empty array");
+  }
+  std::vector<std::size_t> budgets;
+  budgets.reserve(ks->as_array().size());
+  for (const JsonValue& k : ks->as_array()) {
+    if (!k.is_number() || k.as_number() < 1.0) {
+      throw RequestError("bad_request", "ks entries must be positive integers");
+    }
+    budgets.push_back(static_cast<std::size_t>(k.as_number()));
+  }
+  const Deadline deadline = parse_deadline(request);
+  obs::observe("serve.batch.size", static_cast<double>(budgets.size()));
+
+  // Warm the session once so the concurrent read-only placements all start
+  // from exact round-0 gains instead of each running a cold full scan.
+  if (!session.warm_valid()) (void)session.place(budgets.front(), deadline);
+
+  // One private telemetry sink per chunk, merged in chunk order after the
+  // join — workers never share a sink (src/obs/telemetry.h).
+  std::vector<WarmStartResult> results(budgets.size());
+  std::vector<obs::Telemetry> chunk_telemetry(budgets.size());
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  util::parallel_for(
+      0, budgets.size(), 1,
+      [&](const util::ChunkRange& chunk) {
+        obs::TelemetryScope scope(chunk_telemetry[chunk.index]);
+        for (std::size_t i = chunk.first; i < chunk.last; ++i) {
+          try {
+            results[i] = session.place_const(budgets[i], deadline);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error == nullptr) first_error = std::current_exception();
+          }
+        }
+      },
+      options_.threads);
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  for (const obs::Telemetry& telemetry : chunk_telemetry) {
+    telemetry_.merge(telemetry);
+  }
+
+  JsonValue response = ok_base();
+  JsonValue::Array out;
+  out.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    JsonValue item = placement_json(results[i]);
+    item.as_object().emplace("k", static_cast<double>(budgets[i]));
+    out.push_back(std::move(item));
+  }
+  response.as_object().emplace("results", JsonValue(std::move(out)));
+  return response;
+}
+
+JsonValue Server::handle_evaluate(const JsonValue::Object& request) {
+  Session& session = session_or_throw();
+  const JsonValue* nodes = find_field(request, "nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    throw RequestError("bad_request", "nodes must be an array");
+  }
+  std::vector<graph::NodeId> placement;
+  placement.reserve(nodes->as_array().size());
+  for (const JsonValue& node : nodes->as_array()) {
+    placement.push_back(parse_node(node, "nodes entry"));
+  }
+  JsonValue response = ok_base();
+  response.as_object().emplace("customers", session.evaluate(placement));
+  return response;
+}
+
+JsonValue Server::handle_delta(const JsonValue::Object& request) {
+  Session& session = session_or_throw();
+  const JsonValue* ops = find_field(request, "ops");
+  if (ops == nullptr || !ops->is_array() || ops->as_array().empty()) {
+    throw RequestError("bad_request", "ops must be a non-empty array");
+  }
+  std::size_t applied = 0;
+  for (const JsonValue& value : ops->as_array()) {
+    const DeltaOp op = parse_delta_op(value, session.scenario().net);
+    try {
+      session.apply_delta(op);
+    } catch (const std::exception& error) {
+      // Earlier ops in the request stay applied; the error says how far the
+      // batch got so the client can resynchronize.
+      throw RequestError("bad_request",
+                         "op " + std::to_string(applied) + ": " + error.what());
+    }
+    ++applied;
+  }
+  JsonValue response = ok_base();
+  JsonValue::Object& object = response.as_object();
+  object.emplace("applied", static_cast<double>(applied));
+  object.emplace("flows", static_cast<double>(session.flows().size()));
+  return response;
+}
+
+JsonValue Server::handle_stats(const JsonValue::Object&) {
+  JsonValue response = ok_base();
+  JsonValue::Object& object = response.as_object();
+
+  const ScenarioCache::Stats& cache = cache_.stats();
+  JsonValue::Object cache_json;
+  cache_json.emplace("hits", static_cast<double>(cache.hits));
+  cache_json.emplace("misses", static_cast<double>(cache.misses));
+  cache_json.emplace("evictions", static_cast<double>(cache.evictions));
+  cache_json.emplace("bytes", static_cast<double>(cache.bytes));
+  cache_json.emplace("entries", static_cast<double>(cache.entries));
+  cache_json.emplace("max_bytes", static_cast<double>(cache_.max_bytes()));
+  object.emplace("cache", JsonValue(std::move(cache_json)));
+
+  JsonValue::Object session_json;
+  session_json.emplace("present", session_ != nullptr);
+  if (session_ != nullptr) {
+    const Session::Stats& stats = session_->stats();
+    session_json.emplace("key", hex_key(session_->scenario().key));
+    session_json.emplace("summary", session_->scenario().summary);
+    session_json.emplace("flows",
+                         static_cast<double>(session_->flows().size()));
+    session_json.emplace("places", static_cast<double>(stats.places));
+    session_json.emplace("deltas", static_cast<double>(stats.deltas));
+    session_json.emplace("warm_attempts",
+                         static_cast<double>(stats.warm_attempts));
+    session_json.emplace("warm_reused",
+                         static_cast<double>(stats.warm_reused));
+    session_json.emplace("warm_fallbacks",
+                         static_cast<double>(stats.warm_fallbacks));
+  }
+  object.emplace("session", JsonValue(std::move(session_json)));
+
+  JsonValue::Object server_json;
+  server_json.emplace("requests", static_cast<double>(requests_));
+  object.emplace("server", JsonValue(std::move(server_json)));
+  return response;
+}
+
+JsonValue Server::dispatch(const JsonValue::Object& request) {
+  const std::string& op = require_string(request, "op");
+  if (op == "load") return handle_load(request);
+  if (op == "place") return handle_place(request);
+  if (op == "place_batch") return handle_place_batch(request);
+  if (op == "evaluate") return handle_evaluate(request);
+  if (op == "delta") return handle_delta(request);
+  if (op == "stats") return handle_stats(request);
+  if (op == "shutdown") {
+    shutdown_.store(true, std::memory_order_relaxed);
+    return ok_base();
+  }
+  throw RequestError(
+      "unknown_op",
+      "unknown op '" + op +
+          "' (load|place|place_batch|evaluate|delta|stats|shutdown)");
+}
+
+std::string Server::handle_line(const std::string& line) {
+  const auto start = std::chrono::steady_clock::now();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  JsonValue response;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const obs::TelemetryScope scope(telemetry_);
+    obs::set_gauge("serve.queue.depth",
+                   static_cast<double>(pending_.load(std::memory_order_relaxed)));
+    ++requests_;
+    obs::add_counter("serve.requests");
+
+    const JsonValue* id = nullptr;
+    JsonValue id_storage;
+    try {
+      JsonValue request = parse_json(line);
+      if (!request.is_object()) {
+        throw RequestError("bad_request", "request must be a JSON object");
+      }
+      if (const JsonValue* found = find_field(request.as_object(), "id");
+          found != nullptr) {
+        id_storage = *found;
+        id = &id_storage;
+      }
+      response = dispatch(request.as_object());
+      if (id != nullptr) response.as_object().emplace("id", *id);
+    } catch (const RequestError& error) {
+      response = error_response(id, error.code(), error.what());
+    } catch (const DeadlineExceeded& error) {
+      response = error_response(id, "deadline_exceeded", error.what());
+    } catch (const std::invalid_argument& error) {
+      response = error_response(id, "bad_request", error.what());
+    } catch (const std::out_of_range& error) {
+      response = error_response(id, "bad_request", error.what());
+    } catch (const std::exception& error) {
+      response = error_response(id, "internal", error.what());
+    }
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    obs::observe("serve.request_ms", elapsed.count());
+  }
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return to_json(response);
+}
+
+int Server::run(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line) << '\n' << std::flush;
+  }
+  return 0;
+}
+
+}  // namespace rap::serve

@@ -1,0 +1,92 @@
+// The placement server: line-delimited JSON requests over any istream/
+// ostream pair (rap_serve wires stdio). One request per line in, one
+// response per line out, schema "rap.serve.v1" (src/serve/protocol.h).
+//
+// Operations:
+//   load        — build or cache-fetch a scenario, open a session on it
+//   place       — warm-start lazy greedy placement for one budget k
+//   place_batch — many budgets at once, placed concurrently on the
+//                 deterministic thread pool (results independent of the
+//                 thread count, like everything else in librap)
+//   evaluate    — objective value of an explicit placement
+//   delta       — apply add_flow / remove_flow / scale_flow mutations
+//   stats       — cache, session and server counters
+//   shutdown    — acknowledge and stop the run loop
+//
+// handle_line() is thread-safe: a mutex serializes request processing
+// (sessions are stateful), while an atomic pending counter exposes the
+// resulting queue depth as the "serve.queue.depth" gauge. Within a
+// place_batch, concurrency comes from util::parallel_for with one private
+// telemetry sink per worker chunk, merged in chunk order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/obs/telemetry.h"
+#include "src/serve/protocol.h"
+#include "src/serve/scenario_cache.h"
+#include "src/serve/session.h"
+
+namespace rap::serve {
+
+struct ServerOptions {
+  /// Scenario cache budget; 0 disables caching.
+  std::size_t cache_bytes = 256ULL * 1024 * 1024;
+  /// Threads for place_batch; 0 defers to the ambient ParallelConfig
+  /// (RAP_THREADS env var, else hardware concurrency).
+  std::size_t threads = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+
+  /// Handles one request line and returns the response line (no trailing
+  /// newline). Never throws: every failure becomes a structured error
+  /// response. Thread-safe.
+  [[nodiscard]] std::string handle_line(const std::string& line);
+
+  /// Reads request lines from `in` until EOF or a shutdown request, writing
+  /// one response line per request to `out` (flushed per line, so clients
+  /// can pipeline over a pipe). Returns 0.
+  int run(std::istream& in, std::ostream& out);
+
+  [[nodiscard]] bool shutdown_requested() const noexcept {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+
+  /// Server-lifetime telemetry (all requests), for --metrics-out export.
+  /// Take no reference while handle_line may run concurrently.
+  [[nodiscard]] const obs::Telemetry& telemetry() const noexcept {
+    return telemetry_;
+  }
+
+ private:
+  JsonValue dispatch(const JsonValue::Object& request);
+  JsonValue handle_load(const JsonValue::Object& request);
+  JsonValue handle_place(const JsonValue::Object& request);
+  JsonValue handle_place_batch(const JsonValue::Object& request);
+  JsonValue handle_evaluate(const JsonValue::Object& request);
+  JsonValue handle_delta(const JsonValue::Object& request);
+  JsonValue handle_stats(const JsonValue::Object& request);
+
+  /// The open session, or a no_session error.
+  Session& session_or_throw();
+
+  ServerOptions options_;
+  mutable std::mutex mutex_;
+  ScenarioCache cache_;
+  std::unique_ptr<Session> session_;
+  obs::Telemetry telemetry_;
+  std::uint64_t requests_ = 0;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::int64_t> pending_{0};
+};
+
+}  // namespace rap::serve

@@ -1,0 +1,105 @@
+#include "src/serve/session.h"
+
+#include <stdexcept>
+
+#include "src/core/evaluator.h"
+#include "src/obs/telemetry.h"
+#include "src/traffic/flow.h"
+
+namespace rap::serve {
+
+Session::Session(std::shared_ptr<const ServeScenario> scenario)
+    : scenario_(std::move(scenario)), flows_(scenario_->flows) {}
+
+const core::CoverageModel& Session::model() const noexcept {
+  return delta_problem_ != nullptr
+             ? static_cast<const core::CoverageModel&>(*delta_problem_)
+             : *scenario_->problem;
+}
+
+void Session::rebuild_problem() {
+  // The expensive inputs — network and the shop's two Dijkstra trees — are
+  // shared from the scenario; only the incidence index is rebuilt here.
+  delta_problem_ = std::make_unique<core::PlacementProblem>(
+      scenario_->net, flows_, scenario_->shop, *scenario_->utility,
+      std::make_unique<SharedDetours>(scenario_->detours));
+}
+
+void Session::apply_delta(const DeltaOp& op) {
+  const obs::Span span("serve.delta");
+  switch (op.kind) {
+    case DeltaOp::Kind::kAddFlow: {
+      traffic::validate_flow(scenario_->net, op.flow);
+      apply_delta_bound(warm_, op, flows_, *scenario_->utility);
+      flows_.push_back(op.flow);
+      break;
+    }
+    case DeltaOp::Kind::kRemoveFlow: {
+      if (op.index >= flows_.size()) {
+        throw std::out_of_range("remove_flow: index " +
+                                std::to_string(op.index) + " out of range (" +
+                                std::to_string(flows_.size()) + " flows)");
+      }
+      apply_delta_bound(warm_, op, flows_, *scenario_->utility);
+      flows_.erase(flows_.begin() +
+                   static_cast<std::ptrdiff_t>(op.index));
+      break;
+    }
+    case DeltaOp::Kind::kScaleFlow: {
+      if (op.index >= flows_.size()) {
+        throw std::out_of_range("scale_flow: index " +
+                                std::to_string(op.index) + " out of range (" +
+                                std::to_string(flows_.size()) + " flows)");
+      }
+      if (!(op.factor > 0.0)) {
+        throw std::invalid_argument("scale_flow: factor must be > 0");
+      }
+      apply_delta_bound(warm_, op, flows_, *scenario_->utility);
+      flows_[op.index].daily_vehicles *= op.factor;
+      break;
+    }
+  }
+  rebuild_problem();
+  ++stats_.deltas;
+  obs::add_counter("serve.deltas_applied");
+}
+
+WarmStartResult Session::place(std::size_t k, Deadline deadline) {
+  const obs::Span span("serve.place");
+  const bool warm_in = warm_.valid;
+  if (warm_in) {
+    ++stats_.warm_attempts;
+    obs::add_counter("serve.warm_start.attempts");
+  }
+  const WarmStartResult result =
+      warm_start_marginal_greedy(model(), k, warm_, &warm_, deadline);
+  ++stats_.places;
+  if (result.reused) {
+    ++stats_.warm_reused;
+    obs::add_counter("serve.warm_start.reused");
+  }
+  if (result.fell_back) {
+    ++stats_.warm_fallbacks;
+    obs::add_counter("serve.warm_start.fallbacks");
+  }
+  obs::add_counter("serve.warm_start.gain_evaluations",
+                   result.gain_evaluations);
+  return result;
+}
+
+WarmStartResult Session::place_const(std::size_t k, Deadline deadline) const {
+  return warm_start_marginal_greedy(model(), k, warm_, nullptr, deadline);
+}
+
+double Session::evaluate(std::span<const graph::NodeId> nodes) const {
+  const obs::Span span("serve.evaluate");
+  for (const graph::NodeId node : nodes) {
+    if (node >= scenario_->net.num_nodes()) {
+      throw std::out_of_range("evaluate: node " + std::to_string(node) +
+                              " out of range");
+    }
+  }
+  return core::evaluate_placement(model(), nodes);
+}
+
+}  // namespace rap::serve

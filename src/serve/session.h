@@ -1,0 +1,85 @@
+// A serve session: one loaded scenario plus the mutable flow state built on
+// top of it by delta operations.
+//
+// The session never mutates its (shared, possibly cached) ServeScenario.
+// Delta operations copy-on-write the flow vector and rebuild a private
+// PlacementProblem over it — cheaply, because the scenario's shop detour
+// engine (two Dijkstras) is shared via SharedDetours and only the incidence
+// index is rebuilt. Between placements the session carries the warm-start
+// state (src/serve/delta.h): the first `place` runs cold and records exact
+// round-0 gains; every delta loosens them by an audited upper bound; later
+// `place` calls re-optimize warm and fall back to a full run only when the
+// bound check fails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/serve/delta.h"
+#include "src/serve/scenario_cache.h"
+
+namespace rap::serve {
+
+class Session {
+ public:
+  struct Stats {
+    std::uint64_t places = 0;
+    std::uint64_t deltas = 0;
+    std::uint64_t warm_attempts = 0;  ///< places entered with valid warm state
+    std::uint64_t warm_reused = 0;    ///< completed on the warm path
+    std::uint64_t warm_fallbacks = 0; ///< bound violations -> full re-run
+  };
+
+  explicit Session(std::shared_ptr<const ServeScenario> scenario);
+
+  [[nodiscard]] const ServeScenario& scenario() const noexcept {
+    return *scenario_;
+  }
+  /// The active coverage model: the scenario's base problem until the first
+  /// delta, the private rebuilt problem afterwards.
+  [[nodiscard]] const core::CoverageModel& model() const noexcept;
+  [[nodiscard]] const std::vector<traffic::TrafficFlow>& flows()
+      const noexcept {
+    return flows_;
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Whether the next place() can start from warm round-0 gains.
+  [[nodiscard]] bool warm_valid() const noexcept { return warm_.valid; }
+
+  /// Applies one delta: validates it against the current flow state (throws
+  /// std::invalid_argument / std::out_of_range on a bad op), loosens the
+  /// warm bounds, and rebuilds the private problem.
+  void apply_delta(const DeltaOp& op);
+
+  /// Warm-start lazy greedy placement — bit-identical to
+  /// core::lazy_marginal_greedy_placement on the current model. Updates the
+  /// session's warm state.
+  [[nodiscard]] WarmStartResult place(std::size_t k, Deadline deadline = {});
+
+  /// Read-only placement for concurrent batch use: uses (but does not
+  /// refresh) the warm state and does not touch session counters. Safe to
+  /// call from several threads at once on a quiescent session.
+  [[nodiscard]] WarmStartResult place_const(std::size_t k,
+                                            Deadline deadline = {}) const;
+
+  /// Objective value of an explicit placement on the current model. Throws
+  /// std::out_of_range on an invalid node id.
+  [[nodiscard]] double evaluate(std::span<const graph::NodeId> nodes) const;
+
+ private:
+  void rebuild_problem();
+
+  std::shared_ptr<const ServeScenario> scenario_;
+  std::vector<traffic::TrafficFlow> flows_;  // current (post-delta) flow set
+  /// Private problem over flows_; null while flows_ still equals the
+  /// scenario's base flows (the scenario's own problem serves then).
+  std::unique_ptr<core::PlacementProblem> delta_problem_;
+  WarmState warm_;
+  Stats stats_;
+};
+
+}  // namespace rap::serve

@@ -17,39 +17,57 @@ constexpr const char* kFlowHeader[] = {
     "origin", "destination", "daily_vehicles", "passengers_per_vehicle",
     "alpha",  "path"};
 
-[[noreturn]] void fail(const std::string& message) {
-  throw std::invalid_argument("trace io: " + message);
+// Positional error context: failures name the source (file name or
+// "<string>") and the 1-based line of the row being parsed.
+struct ParsePosition {
+  std::string_view source;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(const ParsePosition& at, const std::string& message) {
+  throw std::invalid_argument(std::string(at.source) + ":" +
+                              std::to_string(at.line) + ": " + message);
 }
 
 template <std::size_t N>
-void check_header(const std::vector<std::string>& row,
+void check_header(const ParsePosition& at, const std::vector<std::string>& row,
                   const char* const (&expected)[N]) {
-  if (row.size() != N) fail("bad header width");
+  if (row.size() != N) fail(at, "bad header width");
   for (std::size_t i = 0; i < N; ++i) {
     if (row[i] != expected[i]) {
-      fail("bad header column '" + row[i] + "' (expected '" + expected[i] + "')");
+      fail(at, "bad header column '" + row[i] + "' (expected '" + expected[i] +
+                   "')");
     }
   }
 }
 
-std::uint32_t parse_u32(const std::string& text) {
+std::uint32_t parse_u32(const ParsePosition& at, const std::string& text) {
   std::uint32_t out = 0;
   const auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), out);
   if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    fail("not an unsigned integer: '" + text + "'");
+    fail(at, "not an unsigned integer: '" + text + "'");
   }
   return out;
 }
 
-double parse_double(const std::string& text) {
+double parse_double(const ParsePosition& at, const std::string& text) {
   try {
     std::size_t used = 0;
     const double out = std::stod(text, &used);
-    if (used != text.size()) fail("not a number: '" + text + "'");
+    if (used != text.size()) fail(at, "not a number: '" + text + "'");
     return out;
   } catch (const std::logic_error&) {
-    fail("not a number: '" + text + "'");
+    fail(at, "not a number: '" + text + "'");
+  }
+}
+
+std::vector<util::CsvRecord> parse_records_or_rethrow(
+    std::string_view text, std::string_view source_name) {
+  try {
+    return util::parse_csv_records(text);
+  } catch (const std::invalid_argument& error) {
+    throw std::invalid_argument(std::string(source_name) + ": " + error.what());
   }
 }
 
@@ -93,21 +111,23 @@ std::string records_to_csv(std::span<const TraceRecord> records) {
   return out.str();
 }
 
-std::vector<TraceRecord> records_from_csv(std::string_view text) {
-  const auto rows = util::parse_csv(text);
-  if (rows.empty()) fail("missing header");
-  check_header(rows[0], kRecordHeader);
+std::vector<TraceRecord> records_from_csv(std::string_view text,
+                                          std::string_view source_name) {
+  const auto rows = parse_records_or_rethrow(text, source_name);
+  if (rows.empty()) fail({source_name, 1}, "missing header");
+  check_header({source_name, rows[0].line}, rows[0].fields, kRecordHeader);
   std::vector<TraceRecord> records;
   records.reserve(rows.size() - 1);
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != 6) fail("ragged row " + std::to_string(i));
+    const auto& row = rows[i].fields;
+    const ParsePosition at{source_name, rows[i].line};
+    if (row.size() != 6) fail(at, "ragged row");
     TraceRecord r;
-    r.vehicle_id = parse_u32(row[0]);
-    r.journey_id = parse_u32(row[1]);
-    r.run_id = parse_u32(row[2]);
-    r.timestamp = parse_double(row[3]);
-    r.position = {parse_double(row[4]), parse_double(row[5])};
+    r.vehicle_id = parse_u32(at, row[0]);
+    r.journey_id = parse_u32(at, row[1]);
+    r.run_id = parse_u32(at, row[2]);
+    r.timestamp = parse_double(at, row[3]);
+    r.position = {parse_double(at, row[4]), parse_double(at, row[5])};
     records.push_back(r);
   }
   return records;
@@ -119,7 +139,7 @@ void write_records_csv(const std::filesystem::path& path,
 }
 
 std::vector<TraceRecord> read_records_csv(const std::filesystem::path& path) {
-  return records_from_csv(read_file(path));
+  return records_from_csv(read_file(path), path.string());
 }
 
 std::string flows_to_csv(std::span<const traffic::TrafficFlow> flows) {
@@ -142,25 +162,33 @@ std::string flows_to_csv(std::span<const traffic::TrafficFlow> flows) {
 }
 
 std::vector<traffic::TrafficFlow> flows_from_csv(const graph::RoadNetwork& net,
-                                                 std::string_view text) {
-  const auto rows = util::parse_csv(text);
-  if (rows.empty()) fail("missing header");
-  check_header(rows[0], kFlowHeader);
+                                                 std::string_view text,
+                                                 std::string_view source_name) {
+  const auto rows = parse_records_or_rethrow(text, source_name);
+  if (rows.empty()) fail({source_name, 1}, "missing header");
+  check_header({source_name, rows[0].line}, rows[0].fields, kFlowHeader);
   std::vector<traffic::TrafficFlow> flows;
   flows.reserve(rows.size() - 1);
   for (std::size_t i = 1; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() != 6) fail("ragged row " + std::to_string(i));
+    const auto& row = rows[i].fields;
+    const ParsePosition at{source_name, rows[i].line};
+    if (row.size() != 6) fail(at, "ragged row");
     traffic::TrafficFlow flow;
-    flow.origin = parse_u32(row[0]);
-    flow.destination = parse_u32(row[1]);
-    flow.daily_vehicles = parse_double(row[2]);
-    flow.passengers_per_vehicle = parse_double(row[3]);
-    flow.alpha = parse_double(row[4]);
+    flow.origin = parse_u32(at, row[0]);
+    flow.destination = parse_u32(at, row[1]);
+    flow.daily_vehicles = parse_double(at, row[2]);
+    flow.passengers_per_vehicle = parse_double(at, row[3]);
+    flow.alpha = parse_double(at, row[4]);
     for (const std::string& node : util::split(row[5], '|')) {
-      flow.path.push_back(parse_u32(node));
+      flow.path.push_back(parse_u32(at, node));
     }
-    traffic::validate_flow(net, flow);
+    try {
+      traffic::validate_flow(net, flow);
+    } catch (const std::invalid_argument& error) {
+      // validate_flow knows nothing about files; re-anchor its message to
+      // the offending row.
+      fail(at, error.what());
+    }
     flows.push_back(std::move(flow));
   }
   return flows;
@@ -173,7 +201,7 @@ void write_flows_csv(const std::filesystem::path& path,
 
 std::vector<traffic::TrafficFlow> read_flows_csv(
     const graph::RoadNetwork& net, const std::filesystem::path& path) {
-  return flows_from_csv(net, read_file(path));
+  return flows_from_csv(net, read_file(path), path.string());
 }
 
 }  // namespace rap::trace

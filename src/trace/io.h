@@ -22,8 +22,11 @@ namespace rap::trace {
 [[nodiscard]] std::string records_to_csv(std::span<const TraceRecord> records);
 
 /// Parses records from CSV text. Throws std::invalid_argument on a missing
-/// or wrong header, malformed numbers, or ragged rows.
-[[nodiscard]] std::vector<TraceRecord> records_from_csv(std::string_view text);
+/// or wrong header, malformed numbers, or ragged rows; errors name
+/// `source_name` and the 1-based line of the offending row (the file
+/// wrappers pass the path).
+[[nodiscard]] std::vector<TraceRecord> records_from_csv(
+    std::string_view text, std::string_view source_name = "<string>");
 
 /// File convenience wrappers (throw std::runtime_error on I/O failure).
 void write_records_csv(const std::filesystem::path& path,
@@ -35,9 +38,11 @@ void write_records_csv(const std::filesystem::path& path,
 [[nodiscard]] std::string flows_to_csv(
     std::span<const traffic::TrafficFlow> flows);
 
-/// Parses flows from CSV text; paths are validated against `net`.
+/// Parses flows from CSV text; paths are validated against `net`. Errors
+/// name `source_name` and the 1-based line of the offending row.
 [[nodiscard]] std::vector<traffic::TrafficFlow> flows_from_csv(
-    const graph::RoadNetwork& net, std::string_view text);
+    const graph::RoadNetwork& net, std::string_view text,
+    std::string_view source_name = "<string>");
 
 void write_flows_csv(const std::filesystem::path& path,
                      std::span<const traffic::TrafficFlow> flows);

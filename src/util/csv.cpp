@@ -48,12 +48,14 @@ void CsvWriter::write_numeric_row(std::string_view label,
   *out_ << row.str() << '\n';
 }
 
-std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
-  std::vector<std::vector<std::string>> rows;
+std::vector<CsvRecord> parse_csv_records(std::string_view text) {
+  std::vector<CsvRecord> rows;
   std::vector<std::string> row;
   std::string field;
   bool in_quotes = false;
   bool field_started = false;
+  std::size_t line = 1;       // current source line (1-based)
+  std::size_t row_line = 1;   // line the in-progress row started on
 
   const auto end_field = [&] {
     row.push_back(std::move(field));
@@ -62,7 +64,7 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
   };
   const auto end_row = [&] {
     end_field();
-    rows.push_back(std::move(row));
+    rows.push_back({row_line, std::move(row)});
     row.clear();
   };
 
@@ -77,6 +79,7 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
       continue;
@@ -94,6 +97,8 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
         break;  // handled by the following \n (or ignored at EOF)
       case '\n':
         end_row();
+        ++line;
+        row_line = line;
         break;
       default:
         field.push_back(c);
@@ -101,8 +106,19 @@ std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
         break;
     }
   }
-  if (in_quotes) throw std::invalid_argument("parse_csv: unterminated quote");
+  if (in_quotes) {
+    throw std::invalid_argument("parse_csv: unterminated quote in row starting on line " +
+                                std::to_string(row_line));
+  }
   if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<CsvRecord> records = parse_csv_records(text);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(records.size());
+  for (CsvRecord& record : records) rows.push_back(std::move(record.fields));
   return rows;
 }
 

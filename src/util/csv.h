@@ -37,6 +37,18 @@ class CsvWriter {
 [[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
     std::string_view text);
 
+/// One parsed row plus the 1-based line it started on — quoted fields may
+/// span lines, so consumers that report errors positionally need the row's
+/// own start, not a running count of '\n' seen.
+struct CsvRecord {
+  std::size_t line = 0;  ///< 1-based line number of the row's first character
+  std::vector<std::string> fields;
+};
+
+/// parse_csv, but every row carries its 1-based source line so format
+/// errors can name the offending line (see graph/io.cpp).
+[[nodiscard]] std::vector<CsvRecord> parse_csv_records(std::string_view text);
+
 /// Writes rows to a file, creating parent directories. Throws on I/O error.
 void write_csv_file(const std::filesystem::path& path,
                     std::span<const std::vector<std::string>> rows);

@@ -67,6 +67,25 @@ TEST(NetworkCsv, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(NetworkCsv, ErrorsNameSourceAndLine) {
+  // Garbage row type on line 3 of a named source.
+  try {
+    network_from_csv("node,0,0\nnode,1,0\nblob,9\n", "net.csv");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("net.csv:3"), std::string::npos)
+        << error.what();
+  }
+  // Truncated edge row on line 2.
+  try {
+    network_from_csv("node,0,0\nedge,0\n", "net.csv");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("net.csv:2"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(NetworkCsv, FileRoundTrip) {
   const RoadNetwork net = testing::line_network(4);
   const auto dir = std::filesystem::temp_directory_path() / "rap_net_io";

@@ -1,0 +1,118 @@
+#include "src/serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rap::serve {
+namespace {
+
+TEST(ServeProtocol, ParsesPrimitives) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-2.5e3").as_number(), -2500.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(ServeProtocol, ParsesNestedStructures) {
+  const JsonValue value =
+      parse_json(R"( {"op":"load","ks":[1,2,3],"nested":{"a":true}} )");
+  const JsonValue::Object& object = value.as_object();
+  EXPECT_EQ(object.at("op").as_string(), "load");
+  ASSERT_EQ(object.at("ks").as_array().size(), 3U);
+  EXPECT_DOUBLE_EQ(object.at("ks").as_array()[2].as_number(), 3.0);
+  EXPECT_TRUE(object.at("nested").as_object().at("a").as_bool());
+}
+
+TEST(ServeProtocol, ParsesEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parse_json(R"("Aé")").as_string(), "A\xc3\xa9");
+}
+
+TEST(ServeProtocol, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("tru"), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,2"), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"bad\x01control\""), std::invalid_argument);
+  EXPECT_THROW(parse_json(R"("\ud800")"), std::invalid_argument);
+  EXPECT_THROW(parse_json("00x"), std::invalid_argument);
+}
+
+TEST(ServeProtocol, ErrorsNameTheOffset) {
+  try {
+    parse_json("{\"a\": }");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocol, SerializesDeterministically) {
+  // Keys re-order lexicographically regardless of construction order.
+  JsonValue::Object object;
+  object.emplace("zebra", 1.0);
+  object.emplace("alpha", true);
+  object.emplace("mid", "x");
+  EXPECT_EQ(to_json(JsonValue(std::move(object))),
+            R"({"alpha":true,"mid":"x","zebra":1})");
+}
+
+TEST(ServeProtocol, NumbersRoundTripExactly) {
+  for (const double value : {0.1, 1.0 / 3.0, 54.519999999999996, 1e-300,
+                             123456789.25, -0.0078125}) {
+    const std::string text = to_json(JsonValue(value));
+    EXPECT_EQ(parse_json(text).as_number(), value) << text;
+  }
+  EXPECT_EQ(to_json(JsonValue(42.0)), "42");  // integer fast path
+  EXPECT_EQ(to_json(JsonValue(std::numeric_limits<double>::infinity())),
+            "null");
+  EXPECT_EQ(to_json(JsonValue(std::nan(""))), "null");
+}
+
+TEST(ServeProtocol, SerializesEscapes) {
+  EXPECT_EQ(to_json(JsonValue(std::string("a\"b\\c\nd\x01"))),
+            R"("a\"b\\c\nd\u0001")");
+}
+
+TEST(ServeProtocol, RoundTripsThroughParse) {
+  const std::string text =
+      R"({"arr":[1,2.5,null,false],"obj":{"s":"v"},"x":-3})";
+  EXPECT_EQ(to_json(parse_json(text)), text);
+}
+
+TEST(ServeProtocol, TypedAccessorsThrowOnMismatch) {
+  const JsonValue value = parse_json("42");
+  EXPECT_THROW(value.as_string(), std::invalid_argument);
+  EXPECT_THROW(value.as_object(), std::invalid_argument);
+  EXPECT_THROW(value.as_array(), std::invalid_argument);
+  EXPECT_THROW(value.as_bool(), std::invalid_argument);
+}
+
+TEST(ServeProtocol, FieldHelpers) {
+  const JsonValue value = parse_json(R"({"k":5,"name":"grid"})");
+  const JsonValue::Object& object = value.as_object();
+  EXPECT_DOUBLE_EQ(require_number(object, "k"), 5.0);
+  EXPECT_EQ(require_string(object, "name"), "grid");
+  EXPECT_DOUBLE_EQ(get_number(object, "missing", 7.5), 7.5);
+  EXPECT_EQ(get_string(object, "missing", "fallback"), "fallback");
+  EXPECT_EQ(find_field(object, "missing"), nullptr);
+
+  try {
+    require_number(object, "name");
+    FAIL() << "expected RequestError";
+  } catch (const RequestError& error) {
+    EXPECT_EQ(error.code(), "bad_request");
+  }
+  EXPECT_THROW(require_string(object, "k"), RequestError);
+  EXPECT_THROW(get_number(object, "name", 0.0), RequestError);
+  EXPECT_THROW(get_string(object, "k", ""), RequestError);
+}
+
+}  // namespace
+}  // namespace rap::serve

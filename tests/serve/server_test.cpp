@@ -1,0 +1,201 @@
+#include "src/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/serve/protocol.h"
+
+namespace rap::serve {
+namespace {
+
+constexpr const char* kNetworkCsv =
+    "node,0,0\\nnode,1,0\\nnode,0,1\\nnode,1,1\\n"
+    "edge,0,1,1\\nedge,1,0,1\\nedge,0,2,1\\nedge,2,0,1\\n"
+    "edge,1,3,1\\nedge,3,1,1\\nedge,2,3,1\\nedge,3,2,1\\n";
+
+constexpr const char* kFlowsCsv =
+    "origin,destination,daily_vehicles,passengers_per_vehicle,alpha,path\\n"
+    "0,3,10,2,0.5,0|1|3\\n"
+    "2,1,5,1,0.25,2|3|1\\n";
+
+/// The load request used throughout: inline CSVs (the \n above are literal
+/// backslash-n inside the JSON string, decoded by the protocol layer).
+std::string load_request() {
+  return std::string(R"({"op":"load","network_csv":")") + kNetworkCsv +
+         R"(","flows_csv":")" + kFlowsCsv +
+         R"(","utility":"linear","d":4,"shop":0})";
+}
+
+JsonValue handle(Server& server, const std::string& line) {
+  return parse_json(server.handle_line(line));
+}
+
+// Returns a copy: call sites bind it to a const reference (lifetime
+// extended), so the response may be a temporary.
+JsonValue::Object expect_ok(const JsonValue& response) {
+  const JsonValue::Object& object = response.as_object();
+  EXPECT_TRUE(object.at("ok").as_bool())
+      << to_json(response);
+  EXPECT_EQ(object.at("schema").as_string(), kServeSchema);
+  return object;
+}
+
+std::string expect_error(const JsonValue& response) {
+  const JsonValue::Object& object = response.as_object();
+  EXPECT_FALSE(object.at("ok").as_bool());
+  return object.at("error").as_object().at("code").as_string();
+}
+
+TEST(ServeServer, LoadPlaceEvaluateRoundTrip) {
+  Server server;
+  const JsonValue::Object& loaded = expect_ok(handle(server, load_request()));
+  EXPECT_EQ(loaded.at("nodes").as_number(), 4.0);
+  EXPECT_EQ(loaded.at("flows").as_number(), 2.0);
+  EXPECT_FALSE(loaded.at("cached").as_bool());
+
+  const JsonValue::Object& placed =
+      expect_ok(handle(server, R"({"op":"place","k":2})"));
+  const JsonValue::Object& result = placed.at("result").as_object();
+  EXPECT_EQ(result.at("nodes").as_array().size(), 2U);
+  const double customers = result.at("customers").as_number();
+  EXPECT_GT(customers, 0.0);
+
+  // Evaluating the returned placement reproduces the reported value.
+  std::string nodes_json = to_json(result.at("nodes"));
+  const JsonValue::Object& evaluated = expect_ok(
+      handle(server, R"({"op":"evaluate","nodes":)" + nodes_json + "}"));
+  EXPECT_EQ(evaluated.at("customers").as_number(), customers);
+}
+
+TEST(ServeServer, SecondLoadHitsTheCache) {
+  Server server;
+  expect_ok(handle(server, load_request()));
+  const JsonValue::Object& second = expect_ok(handle(server, load_request()));
+  EXPECT_TRUE(second.at("cached").as_bool());
+
+  const JsonValue::Object& stats =
+      expect_ok(handle(server, R"({"op":"stats"})"));
+  const JsonValue::Object& cache = stats.at("cache").as_object();
+  EXPECT_EQ(cache.at("hits").as_number(), 1.0);
+  EXPECT_EQ(cache.at("misses").as_number(), 1.0);
+  EXPECT_EQ(cache.at("entries").as_number(), 1.0);
+}
+
+TEST(ServeServer, DeltaThenWarmPlace) {
+  Server server;
+  expect_ok(handle(server, load_request()));
+  expect_ok(handle(server, R"({"op":"place","k":2})"));
+  const JsonValue::Object& delta = expect_ok(handle(
+      server,
+      R"({"op":"delta","ops":[{"kind":"add_flow","origin":1,"destination":2,)"
+      R"("vehicles":8,"alpha":0.4},{"kind":"scale_flow","index":0,"factor":2}]})"));
+  EXPECT_EQ(delta.at("applied").as_number(), 2.0);
+  EXPECT_EQ(delta.at("flows").as_number(), 3.0);
+
+  const JsonValue::Object& placed =
+      expect_ok(handle(server, R"({"op":"place","k":2})"));
+  EXPECT_TRUE(placed.at("result").as_object().at("warm_reused").as_bool());
+}
+
+TEST(ServeServer, PlaceBatchMatchesSequentialPlaces) {
+  Server batch_server;
+  expect_ok(handle(batch_server, load_request()));
+  const JsonValue::Object& batch = expect_ok(
+      handle(batch_server, R"({"op":"place_batch","ks":[1,2,3,4]})"));
+  const JsonValue::Array& results = batch.at("results").as_array();
+  ASSERT_EQ(results.size(), 4U);
+
+  Server serial_server;
+  expect_ok(handle(serial_server, load_request()));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JsonValue::Object& entry = results[i].as_object();
+    EXPECT_EQ(entry.at("k").as_number(), static_cast<double>(i + 1));
+    const JsonValue::Object& one = expect_ok(handle(
+        serial_server,
+        R"({"op":"place","k":)" + std::to_string(i + 1) + "}"));
+    const JsonValue::Object& expected = one.at("result").as_object();
+    EXPECT_EQ(to_json(entry.at("nodes")), to_json(expected.at("nodes")));
+    EXPECT_EQ(entry.at("customers").as_number(),
+              expected.at("customers").as_number());
+  }
+}
+
+TEST(ServeServer, StructuredErrors) {
+  Server server;
+  EXPECT_EQ(expect_error(handle(server, "not json")), "bad_request");
+  EXPECT_EQ(expect_error(handle(server, "[1,2]")), "bad_request");
+  EXPECT_EQ(expect_error(handle(server, R"({"op":"dance"})")), "unknown_op");
+  EXPECT_EQ(expect_error(handle(server, R"({"op":"place","k":2})")),
+            "no_session");
+  EXPECT_EQ(expect_error(handle(server, R"({"op":"load","city":"atlantis"})")),
+            "bad_scenario");
+  EXPECT_EQ(expect_error(handle(
+                server, R"({"op":"load","network_csv":"garbage","flows_csv":"x"})")),
+            "bad_scenario");
+
+  expect_ok(handle(server, load_request()));
+  EXPECT_EQ(expect_error(handle(server, R"({"op":"place","k":0})")),
+            "bad_request");
+  EXPECT_EQ(expect_error(handle(
+                server, R"({"op":"delta","ops":[{"kind":"remove_flow","index":9}]})")),
+            "bad_request");
+  EXPECT_EQ(expect_error(handle(server, R"({"op":"evaluate","nodes":[99]})")),
+            "bad_request");
+  // An unknown node in a delta is reported, not fatal.
+  EXPECT_EQ(
+      expect_error(handle(
+          server,
+          R"({"op":"delta","ops":[{"kind":"add_flow","origin":0,"destination":99}]})")),
+      "bad_request");
+}
+
+TEST(ServeServer, EchoesRequestIds) {
+  Server server;
+  const JsonValue ok = handle(server, R"({"op":"stats","id":"req-7"})");
+  EXPECT_EQ(ok.as_object().at("id").as_string(), "req-7");
+  const JsonValue err = handle(server, R"({"op":"nope","id":42})");
+  EXPECT_EQ(err.as_object().at("id").as_number(), 42.0);
+}
+
+TEST(ServeServer, ExpiredDeadlineReported) {
+  Server server;
+  expect_ok(handle(server, load_request()));
+  // A microsecond deadline expires before the optimizer's first heap pop.
+  EXPECT_EQ(expect_error(handle(
+                server, R"({"op":"place","k":2,"deadline_ms":0.000001})")),
+            "deadline_exceeded");
+}
+
+TEST(ServeServer, RunLoopProcessesUntilShutdown) {
+  Server server;
+  std::istringstream in(load_request() + "\n" +
+                        R"({"op":"place","k":1})" + "\n\n" +
+                        R"({"op":"shutdown"})" + "\n" +
+                        R"({"op":"stats"})" + "\n");  // after shutdown: unread
+  std::ostringstream out;
+  EXPECT_EQ(server.run(in, out), 0);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t responses = 0;
+  while (std::getline(lines, line)) {
+    expect_ok(parse_json(line));
+    ++responses;
+  }
+  EXPECT_EQ(responses, 3U);  // load, place, shutdown; stats never handled
+}
+
+TEST(ServeServer, TelemetryRecordsRequestMetrics) {
+  Server server;
+  expect_ok(handle(server, load_request()));
+  expect_ok(handle(server, R"({"op":"place","k":2})"));
+  const auto& counters = server.telemetry().metrics.counters();
+  EXPECT_EQ(counters.at("serve.requests").value(), 2U);
+  EXPECT_EQ(counters.at("serve.cache.misses").value(), 1U);
+}
+
+}  // namespace
+}  // namespace rap::serve

@@ -1,0 +1,210 @@
+#include "src/serve/session.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/evaluator.h"
+#include "src/core/lazy_greedy.h"
+#include "src/serve/delta.h"
+#include "src/traffic/flow.h"
+
+namespace rap::serve {
+namespace {
+
+constexpr const char* kNetworkCsv =
+    "node,0,0\n"
+    "node,1,0\n"
+    "node,2,0\n"
+    "node,0,1\n"
+    "node,1,1\n"
+    "node,2,1\n"
+    "edge,0,1,1\n"
+    "edge,1,0,1\n"
+    "edge,1,2,1\n"
+    "edge,2,1,1\n"
+    "edge,3,4,1\n"
+    "edge,4,3,1\n"
+    "edge,4,5,1\n"
+    "edge,5,4,1\n"
+    "edge,0,3,1\n"
+    "edge,3,0,1\n"
+    "edge,1,4,1\n"
+    "edge,4,1,1\n"
+    "edge,2,5,1\n"
+    "edge,5,2,1\n";
+
+constexpr const char* kFlowsCsv =
+    "origin,destination,daily_vehicles,passengers_per_vehicle,alpha,path\n"
+    "0,5,12,2,0.5,0|1|4|5\n"
+    "3,2,8,1,0.4,3|4|1|2\n"
+    "0,2,6,3,0.3,0|1|2\n";
+
+std::shared_ptr<const ServeScenario> make_scenario() {
+  ScenarioSpec spec;
+  spec.network_csv = kNetworkCsv;
+  spec.flows_csv = kFlowsCsv;
+  spec.utility = "linear";
+  spec.range = 5.0;
+  spec.shop = 4;
+  return build_scenario(spec, scenario_key(spec));
+}
+
+/// From-scratch reference on the session's current flows: a freshly built
+/// problem (own Dijkstras) solved by the library's lazy greedy.
+core::PlacementResult scratch_place(const Session& session, std::size_t k) {
+  const ServeScenario& scenario = session.scenario();
+  const core::PlacementProblem reference(scenario.net, session.flows(),
+                                         scenario.shop, *scenario.utility);
+  return core::lazy_marginal_greedy_placement(reference, k);
+}
+
+void expect_parity(Session& session, std::size_t k, const char* where) {
+  const WarmStartResult warm = session.place(k);
+  const core::PlacementResult scratch = scratch_place(session, k);
+  EXPECT_EQ(warm.placement.nodes, scratch.nodes) << where;
+  EXPECT_EQ(warm.placement.customers, scratch.customers) << where;  // bitwise
+}
+
+TEST(ServeSession, ColdPlaceMatchesLazyGreedy) {
+  Session session(make_scenario());
+  expect_parity(session, 3, "cold");
+  EXPECT_EQ(session.stats().places, 1U);
+  EXPECT_EQ(session.stats().warm_attempts, 0U);
+}
+
+TEST(ServeSession, SecondPlaceRunsWarmWithSameResult) {
+  Session session(make_scenario());
+  const WarmStartResult cold = session.place(3);
+  EXPECT_FALSE(cold.reused);
+  const WarmStartResult warm = session.place(3);
+  EXPECT_TRUE(warm.reused);
+  EXPECT_FALSE(warm.fell_back);
+  EXPECT_EQ(warm.placement.nodes, cold.placement.nodes);
+  EXPECT_EQ(warm.placement.customers, cold.placement.customers);
+  // Warm skips the full scan: strictly fewer evaluations than cold.
+  EXPECT_LT(warm.gain_evaluations, cold.gain_evaluations);
+  EXPECT_EQ(session.stats().warm_reused, 1U);
+}
+
+TEST(ServeSession, AddFlowDeltaKeepsParity) {
+  Session session(make_scenario());
+  (void)session.place(3);  // establish warm state
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kAddFlow;
+  op.flow = traffic::make_shortest_path_flow(session.scenario().net, 3, 5,
+                                             20.0, 2.0, 0.6);
+  session.apply_delta(op);
+  EXPECT_EQ(session.flows().size(), 4U);
+  expect_parity(session, 3, "after add_flow");
+}
+
+TEST(ServeSession, RemoveFlowDeltaKeepsParity) {
+  Session session(make_scenario());
+  (void)session.place(2);
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRemoveFlow;
+  op.index = 0;
+  session.apply_delta(op);
+  EXPECT_EQ(session.flows().size(), 2U);
+  expect_parity(session, 2, "after remove_flow");
+}
+
+TEST(ServeSession, ScaleFlowDeltaKeepsParityBothDirections) {
+  Session session(make_scenario());
+  (void)session.place(2);
+  DeltaOp up;
+  up.kind = DeltaOp::Kind::kScaleFlow;
+  up.index = 1;
+  up.factor = 3.5;
+  session.apply_delta(up);
+  expect_parity(session, 2, "after scale up");
+  DeltaOp down;
+  down.kind = DeltaOp::Kind::kScaleFlow;
+  down.index = 1;
+  down.factor = 0.1;
+  session.apply_delta(down);
+  expect_parity(session, 2, "after scale down");
+}
+
+TEST(ServeSession, DeltaSequenceStaysWarm) {
+  // A realistic serve pattern: place, mutate, re-place, repeatedly. Every
+  // re-placement after the first should reuse warm state (the bounds are
+  // valid, so no fallback should ever trigger here).
+  Session session(make_scenario());
+  (void)session.place(3);
+  for (int round = 0; round < 4; ++round) {
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kScaleFlow;
+    op.index = static_cast<std::size_t>(round) % session.flows().size();
+    op.factor = round % 2 == 0 ? 1.8 : 0.6;
+    session.apply_delta(op);
+    expect_parity(session, 3, "delta round");
+  }
+  EXPECT_EQ(session.stats().warm_attempts, 4U);
+  EXPECT_EQ(session.stats().warm_reused, 4U);
+  EXPECT_EQ(session.stats().warm_fallbacks, 0U);
+}
+
+TEST(ServeSession, RejectsBadDeltas) {
+  Session session(make_scenario());
+  DeltaOp bad_index;
+  bad_index.kind = DeltaOp::Kind::kRemoveFlow;
+  bad_index.index = 99;
+  EXPECT_THROW(session.apply_delta(bad_index), std::out_of_range);
+
+  DeltaOp bad_factor;
+  bad_factor.kind = DeltaOp::Kind::kScaleFlow;
+  bad_factor.index = 0;
+  bad_factor.factor = 0.0;
+  EXPECT_THROW(session.apply_delta(bad_factor), std::invalid_argument);
+
+  DeltaOp bad_flow;
+  bad_flow.kind = DeltaOp::Kind::kAddFlow;  // default flow is invalid
+  EXPECT_THROW(session.apply_delta(bad_flow), std::invalid_argument);
+  EXPECT_EQ(session.stats().deltas, 0U);
+  EXPECT_EQ(session.flows().size(), 3U);
+}
+
+TEST(ServeSession, EvaluateMatchesLibraryEvaluator) {
+  Session session(make_scenario());
+  const std::vector<graph::NodeId> placement{1, 4};
+  const core::PlacementProblem reference(
+      session.scenario().net, session.flows(), session.scenario().shop,
+      *session.scenario().utility);
+  EXPECT_EQ(session.evaluate(placement),
+            core::evaluate_placement(reference, placement));
+  EXPECT_THROW(session.evaluate(std::vector<graph::NodeId>{99}),
+               std::out_of_range);
+}
+
+TEST(ServeSession, BudgetContract) {
+  Session session(make_scenario());
+  EXPECT_THROW((void)session.place(0), std::invalid_argument);
+  // k > num_nodes clamps (6-node network).
+  const WarmStartResult result = session.place(100);
+  EXPECT_LE(result.placement.nodes.size(), 6U);
+}
+
+TEST(ServeSession, ExpiredDeadlineThrows) {
+  Session session(make_scenario());
+  const Deadline expired = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(10);
+  EXPECT_THROW((void)session.place(3, expired), DeadlineExceeded);
+}
+
+TEST(ServeSession, PlaceConstMatchesPlaceWithoutMutating) {
+  Session session(make_scenario());
+  (void)session.place(2);
+  const auto stats_before = session.stats().places;
+  const WarmStartResult read_only = session.place_const(3);
+  EXPECT_EQ(session.stats().places, stats_before);  // no counter movement
+  const WarmStartResult mutating = session.place(3);
+  EXPECT_EQ(read_only.placement.nodes, mutating.placement.nodes);
+  EXPECT_EQ(read_only.placement.customers, mutating.placement.customers);
+}
+
+}  // namespace
+}  // namespace rap::serve

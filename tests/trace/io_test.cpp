@@ -94,6 +94,28 @@ TEST(FlowsCsv, ValidatesAgainstNetwork) {
                std::invalid_argument);
 }
 
+TEST(FlowsCsv, ErrorsNameSourceAndLine) {
+  const graph::RoadNetwork net = testing::line_network(3);
+  const std::string header =
+      "origin,destination,daily_vehicles,passengers_per_vehicle,alpha,path\n";
+  // Truncated row (too few fields) on line 3.
+  try {
+    flows_from_csv(net, header + "0,2,1,1,0.5,0|1|2\n0,2,1\n", "flows.csv");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("flows.csv:3"), std::string::npos)
+        << error.what();
+  }
+  // Garbage number on line 2.
+  try {
+    flows_from_csv(net, header + "0,2,x,1,0.5,0|1|2\n", "flows.csv");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("flows.csv:2"), std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(FlowsCsv, FileRoundTrip) {
   const auto net = testing::line_network(5);
   std::vector<traffic::TrafficFlow> flows;

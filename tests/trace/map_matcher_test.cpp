@@ -116,5 +116,26 @@ TEST(MapMatcher, RespectsOneWayStreetsWhenStitching) {
   EXPECT_EQ(matcher.match_run(run), (std::vector<graph::NodeId>{b, c, a}));
 }
 
+TEST(MapMatcher, EmptyRunMatchesToNothing) {
+  const graph::RoadNetwork net = testing::line_network(3);
+  const MapMatcher matcher(net, 0.4);
+  EXPECT_TRUE(matcher.match_run({}).empty());
+}
+
+TEST(MapMatcher, SinglePointRunSnapsToOneIntersection) {
+  const graph::RoadNetwork net = testing::line_network(3);
+  const MapMatcher matcher(net, 0.4);
+  const auto records = records_at({{1.1, 0.05}});
+  EXPECT_EQ(matcher.match_run(records),
+            (std::vector<graph::NodeId>{1}));
+}
+
+TEST(MapMatcher, RunEntirelyOutsideNetworkMatchesToNothing) {
+  const graph::RoadNetwork net = testing::line_network(3);
+  const MapMatcher matcher(net, 0.4);
+  const auto records = records_at({{50.0, 50.0}, {51.0, 50.0}, {52.0, 50.0}});
+  EXPECT_TRUE(matcher.match_run(records).empty());
+}
+
 }  // namespace
 }  // namespace rap::trace

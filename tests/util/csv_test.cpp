@@ -95,6 +95,17 @@ TEST(ParseCsv, EmptyInputYieldsNoRows) {
   EXPECT_TRUE(parse_csv("").empty());
 }
 
+TEST(ParseCsvRecords, TracksRowStartLines) {
+  const auto records =
+      parse_csv_records("a,b\n\"q\nuoted\",c\nlast,row\n");
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_EQ(records[0].line, 1U);
+  EXPECT_EQ(records[0].fields, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(records[1].line, 2U);  // the quoted field swallows line 3
+  EXPECT_EQ(records[2].line, 4U);
+  EXPECT_EQ(records[2].fields, (std::vector<std::string>{"last", "row"}));
+}
+
 TEST(ParseCsv, RoundTripsThroughWriter) {
   const std::vector<std::vector<std::string>> rows{
       {"plain", "with,comma", "with\"quote"},

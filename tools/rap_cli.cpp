@@ -35,6 +35,7 @@
 //   --verbose-timings            print the span tree after the run
 //   --quiet                      suppress the narrative report (machine
 //                                consumers read --metrics-out / --geojson)
+#include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -58,6 +59,7 @@
 #include "src/util/cli.h"
 #include "src/util/strings.h"
 #include "src/util/thread_pool.h"
+#include "tools/version_info.h"
 
 namespace {
 
@@ -174,6 +176,12 @@ core::PlacementResult run_algorithm(const std::string& name,
 
 int main(int argc, char** argv) {
   try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--version") == 0) {
+        tools::print_version(std::cout, "rap_cli");
+        return 0;
+      }
+    }
     const util::CliFlags flags(argc, argv);
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     util::Rng rng(seed ^ 0x5eed);

@@ -1,13 +1,22 @@
-// Differential fuzzer driver (DESIGN.md §9).
+// Differential fuzzer driver (DESIGN.md §9, §11).
 //
 //   rap_fuzz --scenarios=500 --seed=1 --dump-dir=fuzz_failures
+//   rap_fuzz --family=delta --scenarios=200 --seed=1
 //
-// Runs run_differential_checks over `scenarios` consecutive seeds starting
-// at `seed`. On a failure, prints every violated check and writes the
-// scenario's JSON reproducer ("rap.fuzz.scenario.v1") to `dump-dir` (when
-// given) as fuzz_seed_<seed>.json, then exits 1. The seed alone already
-// reproduces the instance deterministically; the dump makes it inspectable
-// without re-running the generator.
+// Families:
+//   core  — run_differential_checks over consecutive seeds: algorithm
+//           cross-checks, oracle comparisons, audit invariants (default);
+//   delta — serve-layer incremental updates: replay random delta sequences
+//           through a serve session and require the warm-start placement to
+//           match a from-scratch lazy greedy bit-for-bit;
+//   all   — both.
+//
+// On a core failure, prints every violated check and writes the scenario's
+// JSON reproducer ("rap.fuzz.scenario.v1") to `dump-dir` (when given) as
+// fuzz_seed_<seed>.json, then exits 1. The seed alone already reproduces
+// the instance deterministically; the dump makes it inspectable without
+// re-running the generator. Delta failures are reported by seed + round
+// (the seed replays the whole delta sequence).
 #include <cstdint>
 #include <exception>
 #include <filesystem>
@@ -16,24 +25,14 @@
 #include <string>
 
 #include "src/check/differential.h"
+#include "src/serve/delta_fuzz.h"
 #include "src/util/cli.h"
 
 namespace {
 
-int run(int argc, char** argv) {
-  const rap::util::CliFlags flags(argc, argv);
-  const auto scenarios =
-      static_cast<std::uint64_t>(flags.get_int("scenarios", 200));
-  const auto first_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const std::string dump_dir = flags.get_string("dump-dir", "");
-  rap::check::DiffOptions options;
-  options.parallel_threads =
-      static_cast<std::size_t>(flags.get_int("threads", 4));
-  for (const std::string& unknown : flags.unused()) {
-    std::cerr << "rap_fuzz: unknown flag --" << unknown << "\n";
-    return 2;
-  }
-
+std::uint64_t run_core_family(std::uint64_t first_seed, std::uint64_t scenarios,
+                              const std::string& dump_dir,
+                              const rap::check::DiffOptions& options) {
   std::uint64_t failures = 0;
   std::size_t checks = 0;
   for (std::uint64_t i = 0; i < scenarios; ++i) {
@@ -60,8 +59,67 @@ int run(int argc, char** argv) {
                 << report.reproducer_json;
     }
   }
-  std::cout << "rap_fuzz: " << scenarios << " scenario(s), " << checks
+  std::cout << "rap_fuzz: core: " << scenarios << " scenario(s), " << checks
             << " check(s), " << failures << " failing scenario(s)\n";
+  return failures;
+}
+
+std::uint64_t run_delta_family(std::uint64_t first_seed,
+                               std::uint64_t scenarios) {
+  std::uint64_t failures = 0;
+  std::uint64_t skipped = 0;
+  std::size_t deltas = 0;
+  std::size_t reused = 0;
+  std::size_t fallbacks = 0;
+  for (std::uint64_t i = 0; i < scenarios; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const rap::serve::DeltaFuzzReport report =
+        rap::serve::fuzz_delta_one(seed);
+    if (report.skipped) {
+      ++skipped;
+      continue;
+    }
+    deltas += report.deltas_applied;
+    reused += report.warm_reused;
+    fallbacks += report.warm_fallbacks;
+    if (report.ok) continue;
+    ++failures;
+    std::cerr << "FAIL delta seed " << seed << ": " << report.message << "\n";
+  }
+  std::cout << "rap_fuzz: delta: " << scenarios << " scenario(s) (" << skipped
+            << " non-monotone skipped), " << deltas << " delta(s), " << reused
+            << " warm reuse(s), " << fallbacks << " fallback(s), " << failures
+            << " failing scenario(s)\n";
+  return failures;
+}
+
+int run(int argc, char** argv) {
+  const rap::util::CliFlags flags(argc, argv);
+  const auto scenarios =
+      static_cast<std::uint64_t>(flags.get_int("scenarios", 200));
+  const auto first_seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string dump_dir = flags.get_string("dump-dir", "");
+  const std::string family = flags.get_string("family", "core");
+  rap::check::DiffOptions options;
+  options.parallel_threads =
+      static_cast<std::size_t>(flags.get_int("threads", 4));
+  for (const std::string& unknown : flags.unused()) {
+    std::cerr << "rap_fuzz: unknown flag --" << unknown << "\n";
+    return 2;
+  }
+  if (family != "core" && family != "delta" && family != "all") {
+    std::cerr << "rap_fuzz: unknown --family '" << family
+              << "' (core|delta|all)\n";
+    return 2;
+  }
+
+  std::uint64_t failures = 0;
+  if (family == "core" || family == "all") {
+    failures += run_core_family(first_seed, scenarios, dump_dir, options);
+  }
+  if (family == "delta" || family == "all") {
+    failures += run_delta_family(first_seed, scenarios);
+  }
   return failures == 0 ? 0 : 1;
 }
 

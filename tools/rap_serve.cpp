@@ -1,0 +1,66 @@
+// Placement-as-a-service driver: line-delimited JSON over stdio.
+//
+//   rap_serve [--threads=N] [--cache-mb=N] [--metrics-out=FILE]
+//
+//   $ echo '{"op":"load","city":"grid","seed":1,"utility":"linear","d":2500}' |
+//       rap_serve
+//
+// One request per stdin line, one response per stdout line, schema
+// "rap.serve.v1" (src/serve/protocol.h documents the grammar; DESIGN.md §11
+// the architecture). The process exits on EOF or a shutdown request.
+// Diagnostics go to stderr only, so stdout stays machine-parseable.
+//
+// In RAP_AUDIT builds every placement the server computes runs under the
+// invariant auditor (src/check/audit.h) — a violated invariant turns into
+// an "internal" error response instead of a wrong placement.
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/check/audit.h"
+#include "src/core/evaluator.h"
+#include "src/obs/json.h"
+#include "src/serve/server.h"
+#include "src/util/cli.h"
+#include "src/util/thread_pool.h"
+#include "tools/version_info.h"
+
+int main(int argc, char** argv) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--version") == 0) {
+        rap::tools::print_version(std::cout, "rap_serve");
+        return 0;
+      }
+    }
+    const rap::util::CliFlags flags(argc, argv);
+    rap::serve::ServerOptions options;
+    options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+    options.cache_bytes =
+        static_cast<std::size_t>(flags.get_int("cache-mb", 256)) * 1024 * 1024;
+    const std::string metrics_out = flags.get_string("metrics-out", "");
+    for (const std::string& unknown : flags.unused()) {
+      std::cerr << "rap_serve: unknown flag --" << unknown << "\n";
+      return 2;
+    }
+    if (options.threads != 0) {
+      rap::util::set_parallel_config({options.threads});
+    }
+
+    std::optional<rap::check::ScopedAuditor> auditor;
+    if (rap::core::kAuditCompiledIn) auditor.emplace();
+
+    rap::serve::Server server(options);
+    const int rc = server.run(std::cin, std::cout);
+    if (!metrics_out.empty()) {
+      rap::obs::write_json(metrics_out, server.telemetry());
+      std::cerr << "rap_serve: wrote telemetry to " << metrics_out << "\n";
+    }
+    return rc;
+  } catch (const std::exception& error) {
+    std::cerr << "rap_serve: " << error.what() << "\n";
+    return 1;
+  }
+}

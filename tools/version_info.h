@@ -1,0 +1,32 @@
+// `--version` output shared by the rap_cli and rap_serve drivers: the
+// configure-time git describe (cmake/rap_version.h.in), build type, the
+// compiled-in options that change behavior, and the thread-pool default the
+// binary would resolve right now.
+#pragma once
+
+#include <cstdlib>
+#include <ostream>
+#include <thread>
+
+#include "rap_version.h"
+#include "src/core/evaluator.h"
+
+namespace rap::tools {
+
+inline void print_version(std::ostream& out, const char* binary_name) {
+  out << binary_name << " (librap) " << RAP_GIT_DESCRIBE << "\n"
+      << "build type: " << RAP_BUILD_TYPE << "\n"
+      << "options: RAP_AUDIT=" << (core::kAuditCompiledIn ? "on" : "off")
+      << " sanitizers=" << RAP_OPT_SANITIZER << "\n";
+  const char* env_threads = std::getenv("RAP_THREADS");
+  out << "thread-pool default: ";
+  if (env_threads != nullptr) {
+    out << "RAP_THREADS=" << env_threads;
+  } else {
+    out << "hardware_concurrency (" << std::thread::hardware_concurrency()
+        << " on this machine)";
+  }
+  out << "\n";
+}
+
+}  // namespace rap::tools
