@@ -8,13 +8,14 @@
 //     tests/integration/audit_overhead_test.cpp;
 //   * RAP_AUDIT=ON: the ratio reported here is the price of machine-checking
 //     every add(), for deciding where audit builds are affordable.
+// Writes BENCH_audit.json in the rap.bench.v1 schema (bench/common.h).
 //
 //   audit_overhead [--out=BENCH_audit.json] [--trials=5] [--k=8]
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/common.h"
@@ -97,23 +98,22 @@ int main(int argc, char** argv) {
       (void)core::naive_marginal_greedy_placement(problem, k);
     });
 
-    std::ofstream file(out);
-    file << "{\n  \"bench\": \"audit_overhead\",\n"
-         << "  \"city\": \"" << city.workload.name << "\",\n"
-         << "  \"audit_compiled_in\": "
-         << (core::kAuditCompiledIn ? "true" : "false") << ",\n"
-         << "  \"k\": " << k << ",\n"
-         << "  \"trials\": " << trials << ",\n"
-         << "  \"audits_run\": " << check::hook_audits_run() << ",\n"
-         << "  \"cases\": [\n";
-    for (std::size_t i = 0; i < timings.size(); ++i) {
-      const Timing& t = timings[i];
-      file << "    {\"name\": \"" << t.name << "\", \"plain_ms\": "
-           << t.plain_ms << ", \"audited_ms\": " << t.audited_ms
-           << ", \"ratio\": " << t.ratio() << "}"
-           << (i + 1 < timings.size() ? "," : "") << "\n";
+    std::vector<bench::BenchMetric> metrics;
+    for (const Timing& t : timings) {
+      metrics.push_back({t.name + ".plain_ms", t.plain_ms, "ms", true});
+      metrics.push_back({t.name + ".audited_ms", t.audited_ms, "ms", true});
+      metrics.push_back({t.name + ".ratio", t.ratio(), "ratio", true});
     }
-    file << "  ]\n}\n";
+    metrics.push_back({"audits_run",
+                       static_cast<double>(check::hook_audits_run()), "count",
+                       false});
+    bench::write_bench_json(
+        out, "audit_overhead",
+        {{"city", city.workload.name},
+         {"audit_compiled_in", core::kAuditCompiledIn ? "true" : "false"},
+         {"k", std::to_string(k)},
+         {"trials", std::to_string(trials)}},
+        metrics);
     std::cout << "wrote " << out
               << (core::kAuditCompiledIn
                       ? " (RAP_AUDIT build: ratio is the audit price)"

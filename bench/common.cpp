@@ -1,7 +1,12 @@
 #include "bench/common.h"
 
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "src/citygen/partial_grid_city.h"
 #include "src/obs/json.h"
@@ -120,6 +125,47 @@ std::vector<eval::AlgorithmId> manhattan_algorithms() {
           eval::AlgorithmId::kCompositeGreedy,
           eval::AlgorithmId::kMaxCustomers,
           eval::AlgorithmId::kRandom};
+}
+
+void write_bench_json(
+    const std::filesystem::path& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& context,
+    const std::vector<BenchMetric>& metrics) {
+  std::map<std::string, std::string> sorted_context(context.begin(),
+                                                    context.end());
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"" << kBenchSchema << "\",\n  \"bench\": "
+      << obs::json_quote(bench) << ",\n  \"context\": {";
+  bool first = true;
+  for (const auto& [key, value] : sorted_context) {
+    out << (first ? "\n" : ",\n") << "    " << obs::json_quote(key) << ": "
+        << obs::json_quote(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const BenchMetric& metric = metrics[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": "
+        << obs::json_quote(metric.name)
+        << ", \"value\": " << obs::json_number_repr(metric.value)
+        << ", \"unit\": " << obs::json_quote(metric.unit)
+        << ", \"lower_is_better\": "
+        << (metric.lower_is_better ? "true" : "false") << "}";
+  }
+  out << (metrics.empty() ? "" : "\n  ") << "]\n}\n";
+
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("write_bench_json: cannot open " + path.string());
+  }
+  file << out.str();
+  if (!file) {
+    throw std::runtime_error("write_bench_json: write failed for " +
+                             path.string());
+  }
 }
 
 }  // namespace rap::bench

@@ -49,4 +49,48 @@ void run_and_report(const eval::Workload& workload,
 /// The algorithm set for the Manhattan scenario (adds Algorithms 3/4).
 [[nodiscard]] std::vector<eval::AlgorithmId> manhattan_algorithms();
 
+// ---------------------------------------------------------------------------
+// rap.bench.v1 — the standard bench result schema.
+//
+// Every bench/* executable writes its --out file in this shape so
+// tools/bench_compare can diff any result against a committed baseline
+// (bench/baselines/) without per-bench parsers:
+//
+//   {
+//     "schema": "rap.bench.v1",
+//     "bench": "serve_throughput",
+//     "context": { "city": "seattle", "k": "8", ... },   // strings, sorted
+//     "metrics": [
+//       { "name": "cached.ms_per_request", "value": 1.9,
+//         "unit": "ms", "lower_is_better": true },
+//       ...
+//     ]
+//   }
+//
+// "context" is descriptive only (machine, parameters, notes) — comparers
+// must ignore it for pass/fail. Units drive tolerance classification in
+// bench_compare: wall-clock-derived units (ms, s, x, ratio, req_s) are
+// noisy across machines and get the loose --time-tolerance; anything else
+// (count, bytes) is treated as deterministic and compared strictly.
+// ---------------------------------------------------------------------------
+
+/// Name of the schema, also the "schema" field's value.
+inline constexpr const char* kBenchSchema = "rap.bench.v1";
+
+/// One measured value. `name` is dotted-lowercase like telemetry names.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit = "ms";
+  bool lower_is_better = true;
+};
+
+/// Writes a rap.bench.v1 document. `context` entries are emitted sorted by
+/// key; metrics keep their given order. Throws std::runtime_error when the
+/// file cannot be written.
+void write_bench_json(
+    const std::filesystem::path& path, const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& context,
+    const std::vector<BenchMetric>& metrics);
+
 }  // namespace rap::bench

@@ -1,19 +1,19 @@
 // Parallel speedup bench: times the three parallelised kernels — APSP, the
 // coverage greedy (Algorithm 1), and the composite greedy (Algorithm 2) —
 // on a 20x20 grid city at threads=1 vs threads=4 and writes the wall-clock
-// ratios to BENCH_parallel.json. Determinism means the parallel runs also
-// double as a correctness check: the bench aborts if any result differs
-// from the serial run.
+// ratios to BENCH_parallel.json in the rap.bench.v1 schema (bench/common.h).
+// Determinism means the parallel runs also double as a correctness check:
+// the bench aborts if any result differs from the serial run.
 //
 //   parallel_speedup [--out=BENCH_parallel.json] [--threads=4] [--trials=5]
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/citygen/grid_city.h"
 #include "src/core/composite_greedy.h"
 #include "src/core/greedy.h"
@@ -131,35 +131,32 @@ int main(int argc, char** argv) {
     bench_alg("composite_greedy",
               [&] { return core::composite_greedy_placement(problem, kK); });
 
-    std::ofstream file(out);
     const unsigned hw = std::thread::hardware_concurrency();
-    file << "{\n  \"bench\": \"parallel_speedup\",\n"
-         << "  \"city\": \"grid-20x20\",\n";
+    std::vector<std::pair<std::string, std::string>> context = {
+        {"city", "grid-20x20"},
+        {"k", std::to_string(kK)},
+        {"threads", std::to_string(threads)},
+        {"trials", std::to_string(trials)},
+        {"hardware_concurrency", std::to_string(hw)}};
     if (hw < threads) {
       // Speedup is bounded by physical cores; flag runs where the requested
       // thread count oversubscribes the host so readers don't misread the
       // ratios as the engine's ceiling.
-      file << "  \"note\": \"host has only " << hw
-           << " hardware thread(s); expect ~1x here, >=2x needs >= " << threads
-           << " cores\",\n";
+      context.push_back({"note", "host has only " + std::to_string(hw) +
+                                     " hardware thread(s); expect ~1x here, "
+                                     ">=2x needs >= " +
+                                     std::to_string(threads) + " cores"});
     }
-    file
-         << "  \"k\": " << kK << ",\n"
-         << "  \"threads\": " << threads << ",\n"
-         << "  \"trials\": " << trials << ",\n"
-         << "  \"hardware_concurrency\": " << hw << ",\n"
-         << "  \"kernels\": [\n";
-    for (std::size_t i = 0; i < timings.size(); ++i) {
-      const KernelTiming& t = timings[i];
-      file << "    {\"name\": \"" << t.name << "\", \"serial_ms\": "
-           << t.serial_ms << ", \"parallel_ms\": " << t.parallel_ms
-           << ", \"speedup\": " << t.speedup() << "}"
-           << (i + 1 < timings.size() ? "," : "") << "\n";
+    std::vector<bench::BenchMetric> metrics;
+    for (const KernelTiming& t : timings) {
+      metrics.push_back({t.name + ".serial_ms", t.serial_ms, "ms", true});
+      metrics.push_back({t.name + ".parallel_ms", t.parallel_ms, "ms", true});
+      metrics.push_back({t.name + ".speedup", t.speedup(), "x", false});
       std::cout << t.name << ": serial " << t.serial_ms << " ms, " << threads
                 << " threads " << t.parallel_ms << " ms (" << t.speedup()
                 << "x)\n";
     }
-    file << "  ]\n}\n";
+    bench::write_bench_json(out, "parallel_speedup", context, metrics);
     std::cout << "wrote " << out << "\n";
     return 0;
   } catch (const std::exception& error) {

@@ -7,16 +7,18 @@
 //   * cached — load hits the scenario cache, so the request pays only
 //              session setup plus a from-scratch greedy;
 //   * warm   — repeated place on a live session, reusing warm-start state.
-// Writes BENCH_serve.json. The acceptance bar: cached place >= 5x cold.
+// Writes BENCH_serve.json in the rap.bench.v1 schema (bench/common.h), so
+// tools/bench_compare can gate regressions against bench/baselines/.
+// The acceptance bar: cached place >= 5x cold.
 //
 //   serve_throughput [--out=BENCH_serve.json] [--iters=5] [--k=8]
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
 #include "src/util/cli.h"
@@ -101,20 +103,19 @@ int main(int argc, char** argv) {
                                      regimes[1].ms_per_request
                                : 0.0;
 
-    std::ofstream file(out);
-    file << "{\n  \"bench\": \"serve_throughput\",\n"
-         << "  \"city\": \"seattle\",\n"
-         << "  \"k\": " << k << ",\n  \"iters\": " << iters << ",\n"
-         << "  \"cached_over_cold_speedup\": " << speedup << ",\n"
-         << "  \"regimes\": [\n";
-    for (std::size_t i = 0; i < regimes.size(); ++i) {
-      const Regime& regime = regimes[i];
-      file << "    {\"name\": \"" << regime.name << "\", \"ms_per_request\": "
-           << regime.ms_per_request << ", \"requests_per_second\": "
-           << regime.requests_per_second() << "}"
-           << (i + 1 < regimes.size() ? "," : "") << "\n";
+    std::vector<bench::BenchMetric> metrics;
+    for (const Regime& regime : regimes) {
+      metrics.push_back({regime.name + ".ms_per_request",
+                         regime.ms_per_request, "ms", true});
+      metrics.push_back({regime.name + ".requests_per_second",
+                         regime.requests_per_second(), "req_s", false});
     }
-    file << "  ]\n}\n";
+    metrics.push_back({"cached_over_cold_speedup", speedup, "x", false});
+    bench::write_bench_json(out, "serve_throughput",
+                            {{"city", "seattle"},
+                             {"k", std::to_string(k)},
+                             {"iters", std::to_string(iters)}},
+                            metrics);
 
     for (const Regime& regime : regimes) {
       std::cout << regime.name << ": " << regime.ms_per_request

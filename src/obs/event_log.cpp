@@ -1,0 +1,103 @@
+#include "src/obs/event_log.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/obs/events.h"
+#include "src/obs/json.h"
+
+namespace rap::obs {
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  throw std::invalid_argument("parse_log_level: unknown level '" +
+                              std::string(name) +
+                              "' (expected debug|info|warn|error)");
+}
+
+LogField log_str(std::string_view key, std::string_view value) {
+  LogField field;
+  field.key = std::string(key);
+  field.kind = LogField::Kind::kString;
+  field.string_value = std::string(value);
+  return field;
+}
+
+LogField log_num(std::string_view key, double value) {
+  LogField field;
+  field.key = std::string(key);
+  field.kind = LogField::Kind::kNumber;
+  field.number_value = value;
+  return field;
+}
+
+LogField log_bool(std::string_view key, bool value) {
+  LogField field;
+  field.key = std::string(key);
+  field.kind = LogField::Kind::kBool;
+  field.bool_value = value;
+  return field;
+}
+
+void EventLog::log(LogLevel level, std::string_view event,
+                   const std::vector<LogField>& fields) {
+  // ts_ms shares EventClock with the flight recorder so log lines align
+  // with trace events in a merged timeline.
+  const double ts_ms = static_cast<double>(EventClock::now_ns()) / 1e6;
+  std::ostringstream line;
+  line << "{\"schema\":\"" << kLogSchema
+       << "\",\"ts_ms\":" << json_number_repr(ts_ms) << ",\"level\":\""
+       << log_level_name(level) << "\",\"event\":"
+       << json_quote(std::string(event)) << ",\"fields\":{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line << ",";
+    const LogField& field = fields[i];
+    line << json_quote(field.key) << ":";
+    switch (field.kind) {
+      case LogField::Kind::kString:
+        line << json_quote(field.string_value);
+        break;
+      case LogField::Kind::kNumber:
+        line << json_number_repr(field.number_value);
+        break;
+      case LogField::Kind::kBool:
+        line << (field.bool_value ? "true" : "false");
+        break;
+    }
+  }
+  line << "}}";
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (level < min_level_) {
+    ++suppressed_;
+    return;
+  }
+  out_ << line.str() << "\n";
+  out_.flush();
+  ++written_;
+}
+
+std::uint64_t EventLog::lines_written() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+std::uint64_t EventLog::lines_suppressed() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return suppressed_;
+}
+
+}  // namespace rap::obs

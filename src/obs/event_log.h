@@ -1,0 +1,85 @@
+// Structured JSONL event log for long-running processes (the serve loop).
+//
+// One JSON object per line, schema rap.log.v1:
+//
+//   {"schema":"rap.log.v1","ts_ms":12.345,"level":"info",
+//    "event":"request.finish","fields":{"op":"place","ms":1.2,"ok":true}}
+//
+// Key order is fixed (schema, ts_ms, level, event, fields) and fields are
+// emitted in the order the caller lists them, so identical event sequences
+// produce byte-identical logs — pair with VirtualClockGuard (events.h) for
+// fully deterministic transcripts. Timestamps share the EventClock domain
+// with the flight recorder, so log lines and trace events line up.
+//
+// Levels are ordered debug < info < warn < error; lines below min_level are
+// counted but not written. log() serializes writers behind a mutex and
+// flushes per line, so `tail -f` of a --log-out file always sees whole
+// lines. Construction never touches the stream.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <mutex>
+#include <vector>
+
+namespace rap::obs {
+
+inline constexpr const char* kLogSchema = "rap.log.v1";
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Lowercase level name ("debug", "info", "warn", "error").
+[[nodiscard]] const char* log_level_name(LogLevel level) noexcept;
+
+/// Parses a level name; throws std::invalid_argument on anything else.
+[[nodiscard]] LogLevel parse_log_level(std::string_view name);
+
+/// One key/value pair of a log line's "fields" object. Build with the
+/// log_str/log_num/log_bool helpers below.
+struct LogField {
+  enum class Kind : std::uint8_t { kString, kNumber, kBool };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string string_value;
+  double number_value = 0.0;
+  bool bool_value = false;
+};
+
+[[nodiscard]] LogField log_str(std::string_view key, std::string_view value);
+[[nodiscard]] LogField log_num(std::string_view key, double value);
+[[nodiscard]] LogField log_bool(std::string_view key, bool value);
+
+/// Severity-filtered JSONL sink. Thread-safe; the stream must outlive the
+/// log.
+class EventLog {
+ public:
+  explicit EventLog(std::ostream& out, LogLevel min_level = LogLevel::kInfo)
+      : out_(out), min_level_(min_level) {}
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Writes one line when `level` >= min_level; otherwise counts it as
+  /// suppressed. `event` should follow the rap.telemetry.v1 name grammar.
+  void log(LogLevel level, std::string_view event,
+           const std::vector<LogField>& fields = {});
+
+  [[nodiscard]] LogLevel min_level() const noexcept { return min_level_; }
+  [[nodiscard]] std::uint64_t lines_written() const noexcept;
+  [[nodiscard]] std::uint64_t lines_suppressed() const noexcept;
+
+ private:
+  std::ostream& out_;
+  mutable std::mutex mutex_;
+  LogLevel min_level_;
+  std::uint64_t written_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace rap::obs

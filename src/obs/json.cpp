@@ -6,11 +6,10 @@
 #include <sstream>
 
 namespace rap::obs {
-namespace {
 
 // JSON has no Infinity/NaN literals; empty-accumulator sentinels (see
 // util::RunningStats) serialise as null.
-std::string json_number(double value) {
+std::string json_number_repr(double value) {
   if (!std::isfinite(value)) return "null";
   if (value == static_cast<double>(static_cast<long long>(value)) &&
       std::abs(value) < 9.0e15) {
@@ -21,7 +20,7 @@ std::string json_number(double value) {
   return buffer;
 }
 
-std::string quote(const std::string& text) {
+std::string json_quote(const std::string& text) {
   std::string out = "\"";
   for (const char c : text) {
     switch (c) {
@@ -42,6 +41,13 @@ std::string quote(const std::string& text) {
   out += "\"";
   return out;
 }
+
+namespace {
+
+// Local aliases keep the exporter bodies unchanged after the helpers moved
+// to the public obs API.
+std::string json_number(double value) { return json_number_repr(value); }
+std::string quote(const std::string& text) { return json_quote(text); }
 
 void append_trace_node(std::ostringstream& out, const Tracer::Node& node) {
   out << "{\"name\":" << quote(node.name) << ",\"calls\":" << node.calls
@@ -112,7 +118,11 @@ std::string to_json(const Telemetry& telemetry) {
   for (const auto& [name, gauge] : telemetry.metrics.gauges()) {
     if (!first) out << ",";
     first = false;
-    out << quote(name) << ":" << json_number(gauge.value());
+    // Unset gauges export null: 0.0 would be indistinguishable from a real
+    // zero reading.
+    out << quote(name) << ":"
+        << (gauge.has_value() ? json_number(gauge.value())
+                              : std::string("null"));
   }
   out << "},\"histograms\":{";
   first = true;

@@ -8,7 +8,7 @@
 //     "trace": [ { "name", "calls", "total_ms", "self_ms",
 //                  "children": [ ...same shape... ] } ],
 //     "counters":   { "<name>": <uint> },
-//     "gauges":     { "<name>": <number> },
+//     "gauges":     { "<name>": <number|null> },   // null = never set
 //     "histograms": { "<name>": {
 //         "count", "mean", "stddev", "min", "max",
 //         "p50", "p95", "p99", "percentiles_exact",
@@ -30,6 +30,15 @@ namespace rap::obs {
 
 /// Name of the schema emitted by to_json, also the "schema" field's value.
 inline constexpr const char* kTelemetrySchema = "rap.telemetry.v1";
+
+/// JSON string literal with the usual escapes (quotes, backslash, control
+/// characters as \uXXXX). Shared by every obs exporter so escaping rules
+/// cannot drift between the telemetry, trace and log schemas.
+[[nodiscard]] std::string json_quote(const std::string& text);
+
+/// Compact JSON number: integer fast path, %.9g otherwise, "null" for
+/// non-finite values (JSON has no literals for them).
+[[nodiscard]] std::string json_number_repr(double value);
 
 /// Serialises counters, gauges, histograms and the span tree.
 [[nodiscard]] std::string to_json(const Telemetry& telemetry);

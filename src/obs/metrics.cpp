@@ -23,18 +23,32 @@ void Histogram::observe(double value) {
       std::lower_bound(upper_edges_.begin(), upper_edges_.end(), value);
   ++bucket_counts_[static_cast<std::size_t>(it - upper_edges_.begin())];
   stats_.add(value);
+  reservoir_add(value);
+}
+
+void Histogram::reservoir_add(double value) {
+  // Vitter's Algorithm R: the i-th value replaces a random reservoir slot
+  // with probability capacity/i, which keeps every value seen so far equally
+  // likely to be retained. The fixed-seed SplitMix64 makes the subsample a
+  // pure function of the observation sequence. The modulo draw carries a
+  // bias below 2^-40 for any realistic stream length — irrelevant next to
+  // the sampling error of a 4096-sample estimate.
+  ++reservoir_seen_;
   if (samples_.size() < kMaxRetainedSamples) {
     samples_.push_back(value);
-    sorted_ = false;
+    return;
+  }
+  exact_ = false;
+  const std::uint64_t slot = reservoir_rng_.next() % reservoir_seen_;
+  if (slot < kMaxRetainedSamples) {
+    samples_[static_cast<std::size_t>(slot)] = value;
   }
 }
 
 double Histogram::percentile(double q) const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  return util::percentile_sorted(samples_, q);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return util::percentile_sorted(sorted, q);
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -45,11 +59,12 @@ void Histogram::merge(const Histogram& other) {
     bucket_counts_[i] += other.bucket_counts_[i];
   }
   stats_.merge(other.stats_);
-  const std::size_t room = kMaxRetainedSamples - samples_.size();
-  const std::size_t take = std::min(room, other.samples_.size());
-  samples_.insert(samples_.end(), other.samples_.begin(),
-                  other.samples_.begin() + static_cast<std::ptrdiff_t>(take));
-  if (take > 0) sorted_ = false;
+  // Feed the other reservoir through this one. While both sides are exact
+  // and the union fits, this retains everything; otherwise the result is an
+  // estimate (and flagged as such) — other.samples_ is itself a subsample,
+  // so re-sampling it cannot recover exactness.
+  exact_ = exact_ && other.exact_;
+  for (const double value : other.samples_) reservoir_add(value);
 }
 
 std::vector<double> default_latency_edges_ms() {
@@ -80,7 +95,15 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
-  for (const auto& [name, g] : other.gauges_) gauge(name).set(g.value());
+  for (const auto& [name, g] : other.gauges_) {
+    // A created-but-never-set gauge carries no information; overwriting with
+    // its default 0.0 would erase a real reading.
+    if (g.has_value()) {
+      gauge(name).set(g.value());
+    } else {
+      gauge(name);  // still materialize the name
+    }
+  }
   for (const auto& [name, h] : other.histograms_) {
     const auto it = histograms_.find(name);
     if (it == histograms_.end()) {

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace rap::obs {
@@ -36,20 +37,35 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Last-written instantaneous value (e.g. "flows", "nodes").
+/// Last-written instantaneous value (e.g. "flows", "nodes"). A gauge that
+/// was created but never set() reports has_value() == false; merging skips
+/// it (so a worker that never touched a gauge cannot clobber one that did)
+/// and the JSON export emits null instead of a fake 0.
 class Gauge {
  public:
-  void set(double value) noexcept { value_ = value; }
+  void set(double value) noexcept {
+    value_ = value;
+    has_value_ = true;
+  }
+  /// 0.0 until the first set(); check has_value() to tell the difference.
   [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool has_value() const noexcept { return has_value_; }
 
  private:
   double value_ = 0.0;
+  bool has_value_ = false;
 };
 
 /// Distribution of observed samples: fixed cumulative-style buckets (counts
 /// per upper edge, plus an implicit +inf overflow bucket), streaming moments,
-/// and a capped raw-sample reservoir that feeds exact percentiles while the
-/// sample count stays small (the common case for per-stage latencies).
+/// and a bounded raw-sample reservoir that feeds percentiles. While the
+/// observation count stays within kMaxRetainedSamples (the common case for
+/// per-stage latencies) every sample is retained and percentiles are exact;
+/// beyond that the reservoir switches to deterministic uniform replacement
+/// (Vitter's Algorithm R driven by a fixed-seed SplitMix64), so percentiles
+/// degrade to estimates over an unbiased subsample of the whole stream —
+/// not, as a naive cap would give, the stream's first 4096 values. The
+/// fixed seed keeps identical observation sequences bit-identical.
 class Histogram {
  public:
   /// `upper_edges` must be strictly increasing; may be empty (moments only).
@@ -69,29 +85,40 @@ class Histogram {
     return bucket_counts_;
   }
 
-  /// Exact linear-interpolated percentile over the retained samples, q in
-  /// [0, 100]. Once more than kMaxRetainedSamples values have been observed
-  /// the estimate covers the retained prefix only. Throws when empty.
+  /// Linear-interpolated percentile over the retained samples, q in
+  /// [0, 100]. Exact until the reservoir has had to discard (see
+  /// percentiles_exact()); a uniform-subsample estimate after. Throws when
+  /// empty.
   [[nodiscard]] double percentile(double q) const;
 
-  /// True while percentile() is exact (no samples were dropped).
-  [[nodiscard]] bool percentiles_exact() const noexcept {
-    return stats_.count() <= samples_.size();
-  }
+  /// True while percentile() is exact (the reservoir never discarded a
+  /// sample, including through merge()).
+  [[nodiscard]] bool percentiles_exact() const noexcept { return exact_; }
 
   /// Combines another histogram observed over disjoint events. Throws
-  /// std::invalid_argument when bucket edges differ.
+  /// std::invalid_argument when bucket edges differ. The other reservoir's
+  /// retained samples are fed through this reservoir; if either side had
+  /// already discarded, the result is flagged inexact.
   void merge(const Histogram& other);
 
-  /// Reservoir cap; beyond it percentiles become prefix estimates.
+  /// Reservoir capacity; beyond it percentiles become reservoir estimates.
   static constexpr std::size_t kMaxRetainedSamples = 4096;
 
  private:
+  void reservoir_add(double value);
+
   std::vector<double> upper_edges_;
   std::vector<std::uint64_t> bucket_counts_;
   util::RunningStats stats_;
-  mutable std::vector<double> samples_;  // sorted lazily by percentile()
-  mutable bool sorted_ = true;
+  // Reservoir in insertion order; percentile() sorts a copy so the
+  // replacement positions chosen by Algorithm R never depend on whether a
+  // percentile was read mid-stream.
+  std::vector<double> samples_;
+  std::uint64_t reservoir_seen_ = 0;  // values offered to the reservoir
+  util::SplitMix64 reservoir_rng_{kReservoirSeed};
+  bool exact_ = true;
+
+  static constexpr std::uint64_t kReservoirSeed = 0x9a7e5eedULL;
 };
 
 /// Default histogram edges for millisecond-scale latencies.

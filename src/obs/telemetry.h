@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -57,14 +58,21 @@ class TelemetryScope {
   Telemetry* previous_;
 };
 
-/// Adds to a named ambient counter; no-op without an installed scope.
+/// Adds to a named ambient counter; no-op without an installed scope. When
+/// a flight recorder is installed the delta also lands on the raw timeline,
+/// regardless of scope — the recorder is process-wide, not per-thread.
 inline void add_counter(std::string_view name, std::uint64_t n = 1) {
   if (Telemetry* t = ambient(); t != nullptr) t->metrics.counter(name).add(n);
+  if (recorder_active()) {
+    record_counter_event(name, static_cast<double>(n));
+  }
 }
 
-/// Sets a named ambient gauge; no-op without an installed scope.
+/// Sets a named ambient gauge; no-op without an installed scope. Also
+/// recorded on the flight-recorder timeline when one is installed.
 inline void set_gauge(std::string_view name, double value) {
   if (Telemetry* t = ambient(); t != nullptr) t->metrics.gauge(name).set(value);
+  if (recorder_active()) record_counter_event(name, value);
 }
 
 /// Observes into a named ambient histogram; no-op without an installed

@@ -7,9 +7,16 @@
 // exported tree read in pipeline order.
 //
 // A Span constructed from a null Tracer* is inert: no clock read, no
-// allocation — a single branch. That is the "disabled" fast path relied on
-// by the instrumented algorithm kernels (see src/obs/telemetry.h for how
-// call sites usually obtain the tracer).
+// allocation — a single branch (plus the flight recorder's relaxed-load
+// guard, see below). That is the "disabled" fast path relied on by the
+// instrumented algorithm kernels (see src/obs/telemetry.h for how call
+// sites usually obtain the tracer).
+//
+// Spans also feed the flight recorder (src/obs/events.h): when one is
+// installed, every Span — even a tracer-null one — emits begin/end events
+// into the recorder's per-thread ring, so the raw timeline and the
+// aggregated tree come from the same call sites and cannot disagree about
+// what ran.
 //
 // Like MetricsRegistry, a Tracer is thread-compatible, not thread-safe:
 // give each worker its own and merge() afterwards.
@@ -21,6 +28,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/obs/events.h"
 
 namespace rap::obs {
 
@@ -80,7 +89,12 @@ class Span {
       : tracer_(tracer),
         node_(tracer != nullptr ? tracer->enter(name) : nullptr),
         start_(tracer != nullptr ? std::chrono::steady_clock::now()
-                                 : std::chrono::steady_clock::time_point{}) {}
+                                 : std::chrono::steady_clock::time_point{}) {
+    if (recorder_active()) {
+      recorded_name_ = std::string(name);
+      record_span_begin(recorded_name_);
+    }
+  }
 
   /// Convenience: span on the ambient tracer (src/obs/telemetry.h); inert
   /// when no telemetry is installed on this thread.
@@ -90,6 +104,10 @@ class Span {
   Span& operator=(const Span&) = delete;
 
   ~Span() {
+    // The captured name — not a fresh recorder_active() check — decides
+    // whether to emit the end event, so a recorder installed or removed
+    // mid-span cannot produce an unbalanced begin/end pair.
+    if (!recorded_name_.empty()) record_span_end(recorded_name_);
     if (tracer_ == nullptr) return;
     const auto elapsed =
         std::chrono::steady_clock::now() - start_;
@@ -103,6 +121,7 @@ class Span {
   Tracer* tracer_;
   Tracer::Node* node_;
   std::chrono::steady_clock::time_point start_;
+  std::string recorded_name_;  // non-empty iff a begin event was recorded
 };
 
 /// Alias kept for call sites that read better as a timer than a trace span.

@@ -1,0 +1,63 @@
+// Chrome trace-event exporter for the flight recorder (schema rap.trace.v1).
+//
+// The output is the Chrome "JSON object format": an object with a
+// "traceEvents" array, loadable directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Recorder metadata rides in "otherData":
+//
+//   {
+//     "otherData": { "schema": "rap.trace.v1", "ring_capacity": 8192,
+//                    "threads": 2, "dropped_events": 0 },
+//     "displayTimeUnit": "ms",
+//     "traceEvents": [
+//       { "name": "serve.place", "ph": "B", "ts": 12.5, "pid": 1, "tid": 1 },
+//       { "name": "serve.cache.hit", "ph": "i", "s": "t", "ts": 13.0,
+//         "pid": 1, "tid": 1, "args": { "key": "9f3a..." } },
+//       { "name": "serve.requests", "ph": "C", "ts": 14.0, "pid": 1,
+//         "tid": 1, "args": { "value": 3 } },
+//       { "name": "serve.place", "ph": "E", "ts": 14.0, "pid": 1, "tid": 1 }
+//     ]
+//   }
+//
+// Determinism: events are flattened in thread-registration order, then
+// stable-sorted by timestamp — equal timestamps keep (tid, ring) order, so
+// identical event sequences produce byte-identical files (exercised by
+// tests/obs/trace_export_test.cpp under a VirtualClockGuard).
+//
+// Ring overwrite can orphan a span: its "B" fell off the ring while the "E"
+// survived. Unmatched "E" events would corrupt Chrome's per-tid begin/end
+// stack, so a per-thread prepass drops them (counted in
+// ExportSummary::unmatched_ends). Unmatched "B" events are harmless —
+// viewers close them at the trace end — and are kept.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "src/obs/events.h"
+
+namespace rap::obs {
+
+/// Value of otherData.schema in the exported JSON.
+inline constexpr const char* kTraceSchema = "rap.trace.v1";
+
+/// What the exporter did, for callers that report on shutdown.
+struct ExportSummary {
+  std::size_t threads = 0;
+  std::uint64_t events_exported = 0;
+  std::uint64_t dropped_events = 0;   ///< lost to ring overwrite
+  std::uint64_t unmatched_ends = 0;   ///< "E" events elided by the prepass
+};
+
+/// Renders the recorder's current timeline as Chrome trace JSON. Requires
+/// recording quiescence (see events.h). `summary`, when non-null, receives
+/// the export counts.
+[[nodiscard]] std::string to_chrome_trace(const FlightRecorder& recorder,
+                                          ExportSummary* summary = nullptr);
+
+/// Writes to_chrome_trace() to `path`, creating parent directories. Throws
+/// std::runtime_error when the file cannot be written.
+ExportSummary write_chrome_trace(const std::filesystem::path& path,
+                                 const FlightRecorder& recorder);
+
+}  // namespace rap::obs

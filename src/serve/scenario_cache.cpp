@@ -11,6 +11,7 @@
 #include "src/citygen/partial_grid_city.h"
 #include "src/citygen/radial_city.h"
 #include "src/graph/io.h"
+#include "src/obs/events.h"
 #include "src/obs/telemetry.h"
 #include "src/trace/classify.h"
 #include "src/trace/flow_extractor.h"
@@ -20,6 +21,13 @@
 
 namespace rap::serve {
 namespace {
+
+std::string cache_key_hex(std::uint64_t key) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buffer;
+}
 
 std::string read_file_or_throw(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -256,17 +264,20 @@ std::shared_ptr<const ServeScenario> ScenarioCache::lookup(std::uint64_t key) {
   if (it == index_.end()) {
     ++stats_.misses;
     obs::add_counter("serve.cache.misses");
+    obs::record_instant("serve.cache.miss", "key", cache_key_hex(key));
     return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++stats_.hits;
   obs::add_counter("serve.cache.hits");
+  obs::record_instant("serve.cache.hit", "key", cache_key_hex(key));
   return it->second->scenario;
 }
 
 void ScenarioCache::insert(std::shared_ptr<const ServeScenario> scenario) {
   if (max_bytes_ == 0 || scenario == nullptr) return;
   const std::uint64_t key = scenario->key;
+  const std::size_t inserted_bytes = scenario->bytes;
   if (const auto it = index_.find(key); it != index_.end()) {
     stats_.bytes -= it->second->scenario->bytes;
     stats_.bytes += scenario->bytes;
@@ -277,15 +288,29 @@ void ScenarioCache::insert(std::shared_ptr<const ServeScenario> scenario) {
     lru_.push_front(Entry{key, std::move(scenario)});
     index_.emplace(key, lru_.begin());
   }
+  obs::record_instant("serve.cache.insert", "key", cache_key_hex(key));
+  if (log_ != nullptr) {
+    log_->log(obs::LogLevel::kInfo, "cache.insert",
+              {obs::log_str("key", cache_key_hex(key)),
+               obs::log_num("bytes", static_cast<double>(inserted_bytes))});
+  }
   // Evict from the cold end; the entry just touched is at the front and is
   // never evicted by its own insertion.
   while (stats_.bytes > max_bytes_ && lru_.size() > 1) {
     const Entry& victim = lru_.back();
     stats_.bytes -= victim.scenario->bytes;
+    const std::string victim_key = cache_key_hex(victim.key);
+    const std::size_t victim_bytes = victim.scenario->bytes;
     index_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
     obs::add_counter("serve.cache.evictions");
+    obs::record_instant("serve.cache.evict", "key", victim_key);
+    if (log_ != nullptr) {
+      log_->log(obs::LogLevel::kInfo, "cache.evict",
+                {obs::log_str("key", victim_key),
+                 obs::log_num("bytes", static_cast<double>(victim_bytes))});
+    }
   }
   stats_.entries = lru_.size();
   obs::set_gauge("serve.cache.bytes", static_cast<double>(stats_.bytes));

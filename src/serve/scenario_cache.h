@@ -31,6 +31,7 @@
 
 #include "src/core/problem.h"
 #include "src/graph/road_network.h"
+#include "src/obs/event_log.h"
 #include "src/traffic/detour.h"
 #include "src/traffic/flow.h"
 #include "src/traffic/utility.h"
@@ -149,6 +150,11 @@ class ScenarioCache {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t max_bytes() const noexcept { return max_bytes_; }
 
+  /// Structured sink for insert/evict events (nullptr disables; the log
+  /// must outlive the cache). Hits/misses stay on the metrics/recorder
+  /// path only — they are too frequent for a per-line-flushed log.
+  void set_event_log(obs::EventLog* log) noexcept { log_ = log; }
+
  private:
   struct Entry {
     std::uint64_t key = 0;
@@ -159,6 +165,7 @@ class ScenarioCache {
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   Stats stats_;
+  obs::EventLog* log_ = nullptr;
 };
 
 }  // namespace rap::serve

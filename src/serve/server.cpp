@@ -7,11 +7,31 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/events.h"
 #include "src/traffic/flow.h"
 #include "src/util/thread_pool.h"
 
 namespace rap::serve {
 namespace {
+
+// One virtual-clock tick per request: under a VirtualClockGuard every
+// request takes exactly this long, which pins latencies, percentiles and
+// uptime to the request sequence alone.
+constexpr std::uint64_t kVirtualTickNs = 1'000'000;
+
+/// The request's verb for latency bucketing: a known op name, else "other"
+/// (unknown ops, missing/ill-typed op fields). Returns a static literal so
+/// callers can hold it across the dispatch.
+const char* known_op_label(const JsonValue::Object& request) {
+  const JsonValue* op = find_field(request, "op");
+  if (op == nullptr || !op->is_string()) return "other";
+  const std::string& name = op->as_string();
+  for (const char* known : {"load", "place", "place_batch", "evaluate",
+                            "delta", "stats", "shutdown"}) {
+    if (name == known) return known;
+  }
+  return "other";
+}
 
 std::string hex_key(std::uint64_t key) {
   char buffer[24];
@@ -132,7 +152,12 @@ DeltaOp parse_delta_op(const JsonValue& value, const graph::RoadNetwork& net) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(options), cache_(options.cache_bytes) {}
+    : options_(options),
+      cache_(options.cache_bytes),
+      start_ns_(obs::EventClock::now_ns()),
+      pool_baseline_(util::pool_counters()) {
+  cache_.set_event_log(options.log);
+}
 
 Session& Server::session_or_throw() {
   if (session_ == nullptr) {
@@ -188,8 +213,12 @@ JsonValue Server::handle_load(const JsonValue::Object& request) {
 
 JsonValue Server::handle_place(const JsonValue::Object& request) {
   Session& session = session_or_throw();
-  const WarmStartResult result =
-      session.place(parse_budget(request), parse_deadline(request));
+  const std::size_t k = parse_budget(request);
+  const WarmStartResult result = session.place(k, parse_deadline(request));
+  if (result.fell_back && options_.log != nullptr) {
+    options_.log->log(obs::LogLevel::kWarn, "warm_start.fallback",
+                      {obs::log_num("k", static_cast<double>(k))});
+  }
   JsonValue response = ok_base();
   JsonValue::Object& object = response.as_object();
   object.emplace("result", placement_json(result));
@@ -304,6 +333,11 @@ JsonValue Server::handle_stats(const JsonValue::Object&) {
   JsonValue::Object cache_json;
   cache_json.emplace("hits", static_cast<double>(cache.hits));
   cache_json.emplace("misses", static_cast<double>(cache.misses));
+  const std::uint64_t lookups = cache.hits + cache.misses;
+  cache_json.emplace("hit_rate",
+                     lookups == 0 ? 0.0
+                                  : static_cast<double>(cache.hits) /
+                                        static_cast<double>(lookups));
   cache_json.emplace("evictions", static_cast<double>(cache.evictions));
   cache_json.emplace("bytes", static_cast<double>(cache.bytes));
   cache_json.emplace("entries", static_cast<double>(cache.entries));
@@ -331,7 +365,61 @@ JsonValue Server::handle_stats(const JsonValue::Object&) {
 
   JsonValue::Object server_json;
   server_json.emplace("requests", static_cast<double>(requests_));
+  server_json.emplace("errors", static_cast<double>(errors_));
+  // Uptime in the EventClock domain: wall-clock normally, exactly one tick
+  // per completed request under a VirtualClockGuard.
+  server_json.emplace(
+      "uptime_ms",
+      static_cast<double>(obs::EventClock::now_ns() - start_ns_) / 1e6);
   object.emplace("server", JsonValue(std::move(server_json)));
+
+  // Per-verb latency distributions; the sorted member map fixes field order.
+  JsonValue::Object verbs_json;
+  for (const auto& [verb, hist] : verb_latency_) {
+    JsonValue::Object verb_json;
+    verb_json.emplace("count", static_cast<double>(hist.count()));
+    verb_json.emplace("mean_ms", hist.stats().mean());
+    verb_json.emplace("p50_ms", hist.percentile(50.0));
+    verb_json.emplace("p95_ms", hist.percentile(95.0));
+    verb_json.emplace("p99_ms", hist.percentile(99.0));
+    verbs_json.emplace(verb, JsonValue(std::move(verb_json)));
+  }
+  object.emplace("verbs", JsonValue(std::move(verbs_json)));
+
+  // Thread-pool utilization since this server was constructed. The counts
+  // are deterministic for a fixed request sequence (static chunking);
+  // `workers` describes the machine's shared pool.
+  const util::PoolCounters pool = util::pool_counters();
+  JsonValue::Object pool_json;
+  pool_json.emplace("regions",
+                    static_cast<double>(pool.regions - pool_baseline_.regions));
+  pool_json.emplace("chunks",
+                    static_cast<double>(pool.chunks - pool_baseline_.chunks));
+  pool_json.emplace(
+      "workers", static_cast<double>(util::ThreadPool::shared().worker_count()));
+  pool_json.emplace("configured_threads",
+                    static_cast<double>(options_.threads));
+  object.emplace("pool", JsonValue(std::move(pool_json)));
+
+  JsonValue::Object clock_json;
+  clock_json.emplace("virtual", obs::EventClock::virtual_enabled());
+  object.emplace("clock", JsonValue(std::move(clock_json)));
+
+  JsonValue::Object recorder_json;
+  const obs::FlightRecorder* recorder = obs::FlightRecorder::active();
+  recorder_json.emplace("installed", recorder != nullptr);
+  if (recorder != nullptr) {
+    recorder_json.emplace("threads",
+                          static_cast<double>(recorder->thread_count()));
+    recorder_json.emplace("events",
+                          static_cast<double>(recorder->total_events()));
+    recorder_json.emplace("dropped",
+                          static_cast<double>(recorder->total_dropped()));
+    recorder_json.emplace(
+        "ring_capacity",
+        static_cast<double>(recorder->options().ring_capacity));
+  }
+  object.emplace("recorder", JsonValue(std::move(recorder_json)));
   return response;
 }
 
@@ -354,17 +442,23 @@ JsonValue Server::dispatch(const JsonValue::Object& request) {
 }
 
 std::string Server::handle_line(const std::string& line) {
-  const auto start = std::chrono::steady_clock::now();
   pending_.fetch_add(1, std::memory_order_relaxed);
   JsonValue response;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Latency on the EventClock: wall-clock normally; under a
+    // VirtualClockGuard the advance below makes every request exactly one
+    // tick long, so histograms and stats snapshots depend only on the
+    // request sequence.
+    const std::uint64_t start_ns = obs::EventClock::now_ns();
     const obs::TelemetryScope scope(telemetry_);
     obs::set_gauge("serve.queue.depth",
                    static_cast<double>(pending_.load(std::memory_order_relaxed)));
     ++requests_;
     obs::add_counter("serve.requests");
 
+    const char* op_label = "other";
+    std::string error_code;
     const JsonValue* id = nullptr;
     JsonValue id_storage;
     try {
@@ -377,22 +471,59 @@ std::string Server::handle_line(const std::string& line) {
         id_storage = *found;
         id = &id_storage;
       }
+      op_label = known_op_label(request.as_object());
+      obs::record_instant("serve.request", "op", op_label);
+      if (options_.log != nullptr) {
+        options_.log->log(obs::LogLevel::kDebug, "request.start",
+                          {obs::log_str("op", op_label)});
+      }
       response = dispatch(request.as_object());
       if (id != nullptr) response.as_object().emplace("id", *id);
     } catch (const RequestError& error) {
+      error_code = error.code();
       response = error_response(id, error.code(), error.what());
     } catch (const DeadlineExceeded& error) {
-      response = error_response(id, "deadline_exceeded", error.what());
+      error_code = "deadline_exceeded";
+      response = error_response(id, error_code, error.what());
     } catch (const std::invalid_argument& error) {
-      response = error_response(id, "bad_request", error.what());
+      error_code = "bad_request";
+      response = error_response(id, error_code, error.what());
     } catch (const std::out_of_range& error) {
-      response = error_response(id, "bad_request", error.what());
+      error_code = "bad_request";
+      response = error_response(id, error_code, error.what());
     } catch (const std::exception& error) {
-      response = error_response(id, "internal", error.what());
+      error_code = "internal";
+      response = error_response(id, error_code, error.what());
     }
-    const auto elapsed = std::chrono::duration<double, std::milli>(
-        std::chrono::steady_clock::now() - start);
-    obs::observe("serve.request_ms", elapsed.count());
+    const bool ok = error_code.empty();
+    if (!ok) {
+      ++errors_;
+      obs::add_counter("serve.errors");
+      if (options_.log != nullptr) {
+        options_.log->log(obs::LogLevel::kError, "request.error",
+                          {obs::log_str("op", op_label),
+                           obs::log_str("code", error_code)});
+      }
+    }
+
+    obs::EventClock::advance_virtual(kVirtualTickNs);
+    const double elapsed_ms =
+        static_cast<double>(obs::EventClock::now_ns() - start_ns) / 1e6;
+    obs::observe("serve.request_ms", elapsed_ms);
+    const auto verb_it = verb_latency_.find(op_label);
+    obs::Histogram& verb_hist =
+        verb_it != verb_latency_.end()
+            ? verb_it->second
+            : verb_latency_
+                  .emplace(op_label, obs::Histogram(std::vector<double>{}))
+                  .first->second;
+    verb_hist.observe(elapsed_ms);
+    if (options_.log != nullptr) {
+      options_.log->log(obs::LogLevel::kInfo, "request.finish",
+                        {obs::log_str("op", op_label),
+                         obs::log_num("ms", elapsed_ms),
+                         obs::log_bool("ok", ok)});
+    }
   }
   pending_.fetch_sub(1, std::memory_order_relaxed);
   return to_json(response);

@@ -10,7 +10,11 @@
 //                 thread count, like everything else in librap)
 //   evaluate    — objective value of an explicit placement
 //   delta       — apply add_flow / remove_flow / scale_flow mutations
-//   stats       — cache, session and server counters
+//   stats       — live introspection snapshot: cache hit/miss/eviction
+//                 rates, warm-start vs full-rerun counts, per-verb latency
+//                 percentiles, thread-pool utilization, uptime, recorder
+//                 and clock state (all deterministic under the virtual
+//                 clock — see below)
 //   shutdown    — acknowledge and stop the run loop
 //
 // handle_line() is thread-safe: a mutex serializes request processing
@@ -18,20 +22,34 @@
 // resulting queue depth as the "serve.queue.depth" gauge. Within a
 // place_batch, concurrency comes from util::parallel_for with one private
 // telemetry sink per worker chunk, merged in chunk order.
+//
+// Observability. Request latencies are measured on obs::EventClock, so
+// under a VirtualClockGuard — where the server advances the clock by
+// exactly one millisecond tick per request — every latency, uptime and
+// percentile in the stats snapshot is a pure function of the request
+// sequence: byte-identical output for identical inputs, serial or with
+// RAP_THREADS=4 (tests/serve/server_stats_test.cpp holds this as a golden
+// contract). An optional EventLog (ServerOptions::log) receives structured
+// request start/finish/error lines plus cache and warm-start events, and
+// an installed FlightRecorder captures the raw span/instant timeline for
+// rap.trace.v1 export.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "src/obs/event_log.h"
 #include "src/obs/telemetry.h"
 #include "src/serve/protocol.h"
 #include "src/serve/scenario_cache.h"
 #include "src/serve/session.h"
+#include "src/util/thread_pool.h"
 
 namespace rap::serve {
 
@@ -41,6 +59,9 @@ struct ServerOptions {
   /// Threads for place_batch; 0 defers to the ambient ParallelConfig
   /// (RAP_THREADS env var, else hardware concurrency).
   std::size_t threads = 0;
+  /// Structured JSONL sink for request/cache/warm-start events; nullptr
+  /// disables logging. Must outlive the server.
+  obs::EventLog* log = nullptr;
 };
 
 class Server {
@@ -85,6 +106,12 @@ class Server {
   std::unique_ptr<Session> session_;
   obs::Telemetry telemetry_;
   std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  // Latency distribution per validated verb ("other" buckets unknown ops
+  // and unparseable lines). Sorted map -> deterministic stats field order.
+  std::map<std::string, obs::Histogram, std::less<>> verb_latency_;
+  std::uint64_t start_ns_ = 0;                  // EventClock at construction
+  util::PoolCounters pool_baseline_;            // counters at construction
   std::atomic<bool> shutdown_{false};
   std::atomic<std::int64_t> pending_{0};
 };

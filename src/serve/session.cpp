@@ -81,6 +81,7 @@ WarmStartResult Session::place(std::size_t k, Deadline deadline) {
   if (result.fell_back) {
     ++stats_.warm_fallbacks;
     obs::add_counter("serve.warm_start.fallbacks");
+    obs::record_instant("serve.warm_start.fallback");
   }
   obs::add_counter("serve.warm_start.gain_evaluations",
                    result.gain_evaluations);

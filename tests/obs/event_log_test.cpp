@@ -1,0 +1,104 @@
+// Tests for the rap.log.v1 structured event log (src/obs/event_log.h):
+// golden line format under the virtual clock, severity filtering, string
+// escaping, and the written/suppressed accounting.
+#include "src/obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/obs/events.h"
+
+namespace rap::obs {
+namespace {
+
+TEST(LogLevelNames, RoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError}) {
+    EXPECT_EQ(parse_log_level(log_level_name(level)), level);
+  }
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+}
+
+TEST(EventLog, GoldenLineFormat) {
+  const VirtualClockGuard clock;  // ts_ms is exactly 0, then exactly 1.5
+  std::ostringstream out;
+  EventLog log(out, LogLevel::kDebug);
+
+  log.log(LogLevel::kInfo, "request.finish",
+          {log_str("op", "place"), log_num("ms", 1.25), log_bool("ok", true)});
+  EventClock::advance_virtual(1'500'000);
+  log.log(LogLevel::kWarn, "warm_start.fallback", {log_num("k", 8)});
+  log.log(LogLevel::kError, "request.error");
+
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"rap.log.v1\",\"ts_ms\":0,\"level\":\"info\","
+            "\"event\":\"request.finish\",\"fields\":{\"op\":\"place\","
+            "\"ms\":1.25,\"ok\":true}}\n"
+            "{\"schema\":\"rap.log.v1\",\"ts_ms\":1.5,\"level\":\"warn\","
+            "\"event\":\"warm_start.fallback\",\"fields\":{\"k\":8}}\n"
+            "{\"schema\":\"rap.log.v1\",\"ts_ms\":1.5,\"level\":\"error\","
+            "\"event\":\"request.error\",\"fields\":{}}\n");
+  EXPECT_EQ(log.lines_written(), 3u);
+  EXPECT_EQ(log.lines_suppressed(), 0u);
+}
+
+TEST(EventLog, MinLevelSuppressesButCounts) {
+  std::ostringstream out;
+  EventLog log(out, LogLevel::kWarn);
+  log.log(LogLevel::kDebug, "request.start");
+  log.log(LogLevel::kInfo, "request.finish");
+  log.log(LogLevel::kWarn, "warm_start.fallback");
+  log.log(LogLevel::kError, "request.error");
+  EXPECT_EQ(log.lines_written(), 2u);
+  EXPECT_EQ(log.lines_suppressed(), 2u);
+  EXPECT_EQ(out.str().find("request.finish"), std::string::npos);
+  EXPECT_NE(out.str().find("warm_start.fallback"), std::string::npos);
+  EXPECT_NE(out.str().find("request.error"), std::string::npos);
+}
+
+TEST(EventLog, DefaultMinLevelIsInfo) {
+  std::ostringstream out;
+  EventLog log(out);
+  EXPECT_EQ(log.min_level(), LogLevel::kInfo);
+  log.log(LogLevel::kDebug, "request.start");
+  EXPECT_EQ(log.lines_written(), 0u);
+  EXPECT_EQ(log.lines_suppressed(), 1u);
+}
+
+TEST(EventLog, EscapesStringsInFieldValues) {
+  const VirtualClockGuard clock;
+  std::ostringstream out;
+  EventLog log(out, LogLevel::kDebug);
+  log.log(LogLevel::kInfo, "request.error",
+          {log_str("message", "bad \"k\"\nline\ttwo")});
+  EXPECT_EQ(out.str(),
+            "{\"schema\":\"rap.log.v1\",\"ts_ms\":0,\"level\":\"info\","
+            "\"event\":\"request.error\",\"fields\":{\"message\":"
+            "\"bad \\\"k\\\"\\nline\\ttwo\"}}\n");
+}
+
+TEST(EventLog, EveryLineIsOneJsonObject) {
+  std::ostringstream out;
+  EventLog log(out, LogLevel::kDebug);
+  for (int i = 0; i < 5; ++i) {
+    log.log(LogLevel::kInfo, "cache.insert", {log_num("bytes", i)});
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_EQ(line.find("\"schema\":\"rap.log.v1\""), 1u);
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+}  // namespace
+}  // namespace rap::obs

@@ -64,6 +64,16 @@ TEST(ToJson, MetricsGolden) {
       R"("buckets":[{"le":1,"count":1},{"le":10,"count":1},{"le":null,"count":1}]}}})");
 }
 
+TEST(ToJson, UnsetGaugesExportAsNull) {
+  // A merely-materialized gauge has no reading; exporting 0 would be
+  // indistinguishable from a real zero.
+  Telemetry telemetry;
+  (void)telemetry.metrics.gauge("unset");
+  telemetry.metrics.gauge("set").set(0.0);
+  EXPECT_NE(to_json(telemetry).find(R"("gauges":{"set":0,"unset":null})"),
+            std::string::npos);
+}
+
 TEST(ToJson, CountersSortByName) {
   Telemetry telemetry;
   telemetry.metrics.counter("z").add(1);

@@ -25,6 +25,13 @@ TEST(Gauge, KeepsLastValue) {
   EXPECT_EQ(g.value(), -1.0);
 }
 
+TEST(Gauge, TracksWhetherEverSet) {
+  Gauge g;
+  EXPECT_FALSE(g.has_value());
+  g.set(0.0);  // setting the default value still counts as set
+  EXPECT_TRUE(g.has_value());
+}
+
 TEST(HistogramTest, BucketEdgesAreInclusiveUpperBounds) {
   Histogram h({1.0, 2.0, 4.0});
   // One observation per region: (-inf,1], (1,2], (2,4], (4,inf).
@@ -74,8 +81,53 @@ TEST(HistogramTest, ReservoirCapsAndFlagsInexactPercentiles) {
   }
   EXPECT_EQ(h.count(), Histogram::kMaxRetainedSamples + 1);
   EXPECT_FALSE(h.percentiles_exact());
-  // Still answers, over the retained prefix.
+  // Still answers, from the uniform reservoir sample of the whole stream.
   EXPECT_GE(h.percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, ReservoirCoversTheWholeStreamNotAPrefix) {
+  // Regression: the old policy kept the first kMaxRetainedSamples values,
+  // so past the cap percentiles ignored the tail entirely. Algorithm R
+  // keeps a uniform sample, so the median of 0..4N-1 must land near the
+  // true middle, far above the prefix median.
+  Histogram h({});
+  const auto n = static_cast<double>(Histogram::kMaxRetainedSamples);
+  for (double x = 0.0; x < 4.0 * n; x += 1.0) h.observe(x);
+  EXPECT_FALSE(h.percentiles_exact());
+  const double median = h.percentile(50.0);
+  EXPECT_GT(median, 1.5 * n);  // a retained prefix would answer ~n/2
+  EXPECT_LT(median, 2.5 * n);
+}
+
+TEST(HistogramTest, ReservoirSamplingIsDeterministic) {
+  const auto run = [] {
+    Histogram h({});
+    for (int i = 0; i < 3 * static_cast<int>(Histogram::kMaxRetainedSamples);
+         ++i) {
+      h.observe(static_cast<double>(i % 977));
+    }
+    return h;
+  };
+  const Histogram a = run();
+  const Histogram b = run();
+  for (const double q : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.percentile(q), b.percentile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, PercentileQueriesDoNotPerturbTheReservoir) {
+  // percentile() sorts a copy; a mid-stream query must not change which
+  // samples later observations replace.
+  const auto run = [](bool query_mid_stream) {
+    Histogram h({});
+    const int total = 3 * static_cast<int>(Histogram::kMaxRetainedSamples);
+    for (int i = 0; i < total; ++i) {
+      h.observe(static_cast<double>((i * 31) % 1009));
+      if (query_mid_stream && i == total / 2) (void)h.percentile(50.0);
+    }
+    return h.percentile(50.0);
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(HistogramTest, MergeAddsBucketsAndMoments) {
@@ -135,6 +187,31 @@ TEST(MetricsRegistryTest, MergeCombinesAllKinds) {
   EXPECT_EQ(a.gauges().at("g").value(), 5.0);  // gauges overwrite
   EXPECT_EQ(a.histograms().at("h").count(), 2u);
   EXPECT_EQ(a.histograms().at("h2").count(), 1u);
+}
+
+TEST(MetricsRegistryTest, MergeSkipsGaugesThatWereNeverSet) {
+  // Regression: gauge("name") materializes an unset gauge (value 0.0), and
+  // merge used to copy that 0.0 over a real reading. Only set gauges may
+  // overwrite.
+  MetricsRegistry a;
+  a.gauge("depth").set(3.0);
+
+  MetricsRegistry b;
+  (void)b.gauge("depth");  // materialized but never set
+  (void)b.gauge("fresh");  // unset, new to a
+
+  a.merge(b);
+  EXPECT_EQ(a.gauges().at("depth").value(), 3.0);
+  EXPECT_TRUE(a.gauges().at("depth").has_value());
+  // The name still transfers, still marked unset.
+  EXPECT_FALSE(a.gauges().at("fresh").has_value());
+
+  // And a set gauge on the right side does overwrite an unset left one.
+  MetricsRegistry c;
+  (void)c.gauge("depth");
+  c.merge(a);
+  EXPECT_TRUE(c.gauges().at("depth").has_value());
+  EXPECT_EQ(c.gauges().at("depth").value(), 3.0);
 }
 
 TEST(MetricsRegistryTest, MergeMatchesSequentialObservation) {

@@ -1,0 +1,149 @@
+// Golden-file tests for the rap.trace.v1 Chrome trace exporter
+// (src/obs/trace_export.h): exact byte output under the virtual clock, the
+// unmatched-"E" prepass after ring overwrite, cross-thread merge order, and
+// the file writer.
+#include "src/obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/obs/events.h"
+
+namespace rap::obs {
+namespace {
+
+TEST(TraceExport, GoldenSingleThreadDocument) {
+  const VirtualClockGuard clock;
+  FlightRecorder recorder(RecorderOptions{8});
+
+  record_span_begin("serve.place");
+  EventClock::advance_virtual(1'000);
+  record_instant("serve.cache.hit", "key", "00ab");
+  record_counter_event("serve.requests", 3.0);
+  EventClock::advance_virtual(1'000);
+  record_span_end("serve.place");
+
+  ExportSummary summary;
+  const std::string json = to_chrome_trace(recorder, &summary);
+  EXPECT_EQ(
+      json,
+      "{\"otherData\":{\"schema\":\"rap.trace.v1\",\"ring_capacity\":8,"
+      "\"threads\":1,\"dropped_events\":0,\"unmatched_ends\":0},"
+      "\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"serve.place\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1},"
+      "{\"name\":\"serve.cache.hit\",\"ph\":\"i\",\"s\":\"t\",\"ts\":1,"
+      "\"pid\":1,\"tid\":1,\"args\":{\"key\":\"00ab\"}},"
+      "{\"name\":\"serve.requests\",\"ph\":\"C\",\"ts\":1,\"pid\":1,"
+      "\"tid\":1,\"args\":{\"value\":3}},"
+      "{\"name\":\"serve.place\",\"ph\":\"E\",\"ts\":2,\"pid\":1,\"tid\":1}"
+      "]}");
+  EXPECT_EQ(summary.threads, 1u);
+  EXPECT_EQ(summary.events_exported, 4u);
+  EXPECT_EQ(summary.dropped_events, 0u);
+  EXPECT_EQ(summary.unmatched_ends, 0u);
+}
+
+TEST(TraceExport, IdenticalTimelinesProduceIdenticalBytes) {
+  const auto run_once = [] {
+    const VirtualClockGuard clock;
+    FlightRecorder recorder;
+    for (int i = 0; i < 3; ++i) {
+      record_span_begin("request");
+      record_instant("serve.cache.miss", "key", "deadbeef");
+      EventClock::advance_virtual(1'000'000);
+      record_span_end("request");
+    }
+    return to_chrome_trace(recorder);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TraceExport, DropsUnmatchedEndsAfterRingOverwrite) {
+  const VirtualClockGuard clock;
+  // Capacity 2: pushing B ("outer"), B ("inner"), E, E overwrites both
+  // begins and retains only the two ends, which the prepass must elide.
+  FlightRecorder recorder(RecorderOptions{2});
+  record_span_begin("outer");
+  record_span_begin("inner");
+  record_span_end("inner");
+  record_span_end("outer");
+
+  ExportSummary summary;
+  const std::string json = to_chrome_trace(recorder, &summary);
+  EXPECT_EQ(summary.dropped_events, 2u);
+  EXPECT_EQ(summary.unmatched_ends, 2u);
+  EXPECT_EQ(summary.events_exported, 0u);
+  EXPECT_NE(json.find("\"dropped_events\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"unmatched_ends\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST(TraceExport, KeepsEndsThatStillHaveTheirBegin) {
+  const VirtualClockGuard clock;
+  // Capacity 3 retains B ("inner"), E ("inner"), E ("outer"): the inner
+  // pair survives, the outer end is orphaned.
+  FlightRecorder recorder(RecorderOptions{3});
+  record_span_begin("outer");
+  record_span_begin("inner");
+  record_span_end("inner");
+  record_span_end("outer");
+
+  ExportSummary summary;
+  const std::string json = to_chrome_trace(recorder, &summary);
+  EXPECT_EQ(summary.unmatched_ends, 1u);
+  EXPECT_EQ(summary.events_exported, 2u);
+  EXPECT_NE(json.find("\"name\":\"inner\",\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\",\"ph\":\"E\""), std::string::npos);
+  EXPECT_EQ(json.find("\"name\":\"outer\""), std::string::npos);
+}
+
+TEST(TraceExport, MergesThreadsByTimestampThenRegistrationOrder) {
+  const VirtualClockGuard clock;
+  FlightRecorder recorder;
+  record_instant("main.early");  // ts 0, tid 1
+  std::thread worker([] {
+    record_instant("worker.same_ts");  // ts 0, tid 2 — after tid 1 on ties
+  });
+  worker.join();
+  EventClock::advance_virtual(1'000);
+  record_instant("main.late");  // ts 1000
+
+  const std::string json = to_chrome_trace(recorder);
+  const std::size_t early = json.find("main.early");
+  const std::size_t same = json.find("worker.same_ts");
+  const std::size_t late = json.find("main.late");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(same, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, same);
+  EXPECT_LT(same, late);
+  EXPECT_NE(json.find("\"threads\":2"), std::string::npos);
+}
+
+TEST(TraceExport, WriteCreatesParentDirsAndTrailingNewline) {
+  const VirtualClockGuard clock;
+  FlightRecorder recorder;
+  record_instant("one");
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "rap_trace_export_test";
+  std::filesystem::remove_all(dir);
+  const std::filesystem::path path = dir / "nested" / "trace.json";
+  const ExportSummary summary = write_chrome_trace(path, recorder);
+  EXPECT_EQ(summary.events_exported, 1u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), to_chrome_trace(recorder) + "\n");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace rap::obs

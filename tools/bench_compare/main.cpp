@@ -1,0 +1,143 @@
+// bench_compare — the perf-baseline gate.
+//
+// Diffs rap.bench.v1 results (written by bench/*) against committed
+// baselines (bench/baselines/) and fails on regressions past tolerance.
+// See tools/bench_compare/compare.h for the tolerance model.
+//
+//   bench_compare --baseline=PATH --current=PATH
+//                 [--tolerance=0.10] [--time-tolerance=0.50] [--update]
+//
+// PATH pairs are either two files or two directories. In directory mode
+// every *.json under --baseline must have a same-named file under
+// --current (a missing current file fails the gate: that bench stopped
+// reporting). Extra files under --current are listed but do not fail —
+// refresh the baselines to adopt a new bench.
+//
+// --update copies each current result over its baseline (creating new
+// baseline files for current-only benches) and exits 0 without comparing.
+// The one-command refresh is tools/refresh_bench_baselines.sh.
+//
+// Exit codes: 0 pass (or --update done), 1 regression / lost coverage,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/util/cli.h"
+#include "tools/bench_compare/compare.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace rap;
+
+/// Sorted *.json entries directly under `dir`.
+std::vector<fs::path> json_files(const fs::path& dir) {
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void copy_over(const fs::path& from, const fs::path& to) {
+  if (to.has_parent_path()) fs::create_directories(to.parent_path());
+  fs::copy_file(from, to, fs::copy_options::overwrite_existing);
+  std::cout << "updated " << to.string() << " from " << from.string() << "\n";
+}
+
+/// Compares one baseline/current file pair; returns whether the pair
+/// passed and prints the per-metric report.
+bool compare_pair(const fs::path& baseline_path, const fs::path& current_path,
+                  const tools::CompareOptions& options) {
+  const tools::BenchDoc baseline = tools::load_bench_file(baseline_path);
+  const tools::BenchDoc current = tools::load_bench_file(current_path);
+  const tools::CompareResult result =
+      tools::compare_docs(baseline, current, options);
+  std::cout << tools::format_report(result);
+  return !result.failed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliFlags flags(argc, argv);
+    const std::string baseline_arg = flags.get_string("baseline", "");
+    const std::string current_arg = flags.get_string("current", "");
+    tools::CompareOptions options;
+    options.tolerance = flags.get_double("tolerance", options.tolerance);
+    options.time_tolerance =
+        flags.get_double("time-tolerance", options.time_tolerance);
+    const bool update = flags.get_bool("update", false);
+    for (const std::string& flag : flags.unused()) {
+      std::cerr << "bench_compare: unknown flag " << flag << "\n";
+      return 2;
+    }
+    if (baseline_arg.empty() || current_arg.empty()) {
+      std::cerr << "usage: bench_compare --baseline=PATH --current=PATH"
+                   " [--tolerance=F] [--time-tolerance=F] [--update]\n";
+      return 2;
+    }
+    const fs::path baseline(baseline_arg);
+    const fs::path current(current_arg);
+
+    if (!fs::is_directory(current)) {
+      // File mode: one pair. --update just adopts the current file.
+      if (update) {
+        (void)tools::load_bench_file(current);  // refuse to adopt garbage
+        copy_over(current, baseline);
+        return 0;
+      }
+      return compare_pair(baseline, current, options) ? 0 : 1;
+    }
+
+    if (update) {
+      for (const fs::path& file : json_files(current)) {
+        (void)tools::load_bench_file(file);
+        copy_over(file, baseline / file.filename());
+      }
+      return 0;
+    }
+
+    if (!fs::is_directory(baseline)) {
+      std::cerr << "bench_compare: " << baseline.string()
+                << " is not a directory (current is)\n";
+      return 2;
+    }
+    bool all_ok = true;
+    std::size_t pairs = 0;
+    for (const fs::path& file : json_files(baseline)) {
+      const fs::path candidate = current / file.filename();
+      if (!fs::exists(candidate)) {
+        std::cout << "MISSING bench result " << candidate.string()
+                  << " (baseline " << file.string() << " has no current run)\n";
+        all_ok = false;
+        continue;
+      }
+      all_ok = compare_pair(file, candidate, options) && all_ok;
+      ++pairs;
+    }
+    for (const fs::path& file : json_files(current)) {
+      if (!fs::exists(baseline / file.filename())) {
+        std::cout << "new bench result " << file.string()
+                  << " has no baseline; run with --update to adopt it\n";
+      }
+    }
+    if (pairs == 0 && all_ok) {
+      std::cerr << "bench_compare: no baseline *.json files under "
+                << baseline.string() << "\n";
+      return 2;
+    }
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "bench_compare: " << error.what() << "\n";
+    return 2;
+  }
+}

@@ -30,8 +30,12 @@ const std::set<std::string, std::less<>> kUnorderedTypes = {
 
 // obs-layer entry points whose first argument names a metric or span.
 const std::set<std::string, std::less<>> kTelemetryApis = {
-    "add_counter", "set_gauge", "observe", "counter",
-    "gauge",       "histogram", "Span",    "ScopedTimer"};
+    "add_counter",       "set_gauge",
+    "observe",           "counter",
+    "gauge",             "histogram",
+    "Span",              "ScopedTimer",
+    "record_span_begin", "record_span_end",
+    "record_counter_event", "record_instant"};
 
 const std::set<std::string, std::less<>> kSpanCtors = {"Span", "ScopedTimer"};
 

@@ -1,6 +1,9 @@
 // Placement-as-a-service driver: line-delimited JSON over stdio.
 //
 //   rap_serve [--threads=N] [--cache-mb=N] [--metrics-out=FILE]
+//             [--trace-out=FILE] [--ring-capacity=N]
+//             [--log-out=FILE] [--log-level=debug|info|warn|error]
+//             [--virtual-ticks]
 //
 //   $ echo '{"op":"load","city":"grid","seed":1,"utility":"linear","d":2500}' |
 //       rap_serve
@@ -10,18 +13,34 @@
 // the architecture). The process exits on EOF or a shutdown request.
 // Diagnostics go to stderr only, so stdout stays machine-parseable.
 //
+// Observability (DESIGN.md §12):
+//   --metrics-out  aggregate telemetry (rap.telemetry.v1) on exit
+//   --trace-out    install a flight recorder; write the raw event timeline
+//                  as Chrome trace JSON (rap.trace.v1, Perfetto-loadable)
+//                  on exit. --ring-capacity bounds events kept per thread.
+//   --log-out      structured JSONL event log (rap.log.v1) while serving;
+//                  "-" logs to stderr. --log-level filters severities.
+//   --virtual-ticks  drive all timestamps from the deterministic virtual
+//                  clock (one 1 ms tick per request) so traces, logs and
+//                  stats snapshots are byte-reproducible across runs.
+//
 // In RAP_AUDIT builds every placement the server computes runs under the
 // invariant auditor (src/check/audit.h) — a violated invariant turns into
 // an "internal" error response instead of a wrong placement.
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "src/check/audit.h"
 #include "src/core/evaluator.h"
+#include "src/obs/event_log.h"
+#include "src/obs/events.h"
 #include "src/obs/json.h"
+#include "src/obs/trace_export.h"
 #include "src/serve/server.h"
 #include "src/util/cli.h"
 #include "src/util/thread_pool.h"
@@ -41,12 +60,50 @@ int main(int argc, char** argv) {
     options.cache_bytes =
         static_cast<std::size_t>(flags.get_int("cache-mb", 256)) * 1024 * 1024;
     const std::string metrics_out = flags.get_string("metrics-out", "");
+    const std::string trace_out = flags.get_string("trace-out", "");
+    const auto ring_capacity =
+        static_cast<std::size_t>(flags.get_int("ring-capacity", 8192));
+    const std::string log_out = flags.get_string("log-out", "");
+    const std::string log_level = flags.get_string("log-level", "info");
+    const bool virtual_ticks = flags.get_bool("virtual-ticks", false);
     for (const std::string& unknown : flags.unused()) {
       std::cerr << "rap_serve: unknown flag --" << unknown << "\n";
       return 2;
     }
     if (options.threads != 0) {
       rap::util::set_parallel_config({options.threads});
+    }
+
+    // Install the clock domain before any recorder or log writes a
+    // timestamp, so the whole run shares one domain.
+    std::optional<rap::obs::VirtualClockGuard> virtual_clock;
+    if (virtual_ticks) virtual_clock.emplace();
+
+    std::optional<rap::obs::FlightRecorder> recorder;
+    if (!trace_out.empty()) {
+      recorder.emplace(rap::obs::RecorderOptions{ring_capacity});
+    }
+
+    std::ofstream log_file;
+    std::optional<rap::obs::EventLog> log;
+    if (!log_out.empty()) {
+      const rap::obs::LogLevel min_level =
+          rap::obs::parse_log_level(log_level);
+      if (log_out == "-") {
+        log.emplace(std::cerr, min_level);
+      } else {
+        const std::filesystem::path path(log_out);
+        if (path.has_parent_path()) {
+          std::filesystem::create_directories(path.parent_path());
+        }
+        log_file.open(path);
+        if (!log_file) {
+          std::cerr << "rap_serve: cannot open --log-out " << log_out << "\n";
+          return 2;
+        }
+        log.emplace(log_file, min_level);
+      }
+      options.log = &*log;
     }
 
     std::optional<rap::check::ScopedAuditor> auditor;
@@ -57,6 +114,13 @@ int main(int argc, char** argv) {
     if (!metrics_out.empty()) {
       rap::obs::write_json(metrics_out, server.telemetry());
       std::cerr << "rap_serve: wrote telemetry to " << metrics_out << "\n";
+    }
+    if (recorder.has_value()) {
+      const rap::obs::ExportSummary summary =
+          rap::obs::write_chrome_trace(trace_out, *recorder);
+      std::cerr << "rap_serve: wrote " << summary.events_exported
+                << " trace events (" << summary.dropped_events
+                << " dropped) to " << trace_out << "\n";
     }
     return rc;
   } catch (const std::exception& error) {
