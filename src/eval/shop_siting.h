@@ -4,15 +4,19 @@
 // the placement problem with the shop there, runs the placement algorithm,
 // and ranks candidates by attracted customers.
 //
-// The evaluation loop shares one all-pairs distance matrix across all
-// candidate shops (the paper's O(|V|^3) preprocessing, amortised), which is
-// exactly when ApspDetourCalculator beats per-shop Dijkstras.
+// The evaluation loop shares distance state across all candidate shops: a
+// single all-pairs matrix on small cities (the paper's O(|V|^3)
+// preprocessing, amortised — exactly when ApspDetourCalculator beats
+// per-shop Dijkstras), or a shared sparse DistanceOracle + distance cache
+// on metro cities where the n^2 matrix is unaffordable. Rankings are
+// bitwise identical either way (the oracle contract, src/graph/oracle.h).
 #pragma once
 
 #include <vector>
 
 #include "src/core/problem.h"
 #include "src/graph/apsp.h"
+#include "src/graph/oracle.h"
 
 namespace rap::eval {
 
@@ -28,6 +32,10 @@ struct ShopSitingOptions {
   std::vector<graph::NodeId> candidates;
   /// Keep only the best `top` sites in the result (0 = all).
   std::size_t top = 0;
+  /// Distance backend: "auto" shares one dense matrix below
+  /// oracle.dense_node_limit and one sparse oracle + distance cache above
+  /// it. The ranking is bitwise identical for every backend.
+  graph::OraclePolicy oracle;
 };
 
 /// Ranks candidate shop sites by the customers their best placement

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/graph/dijkstra.h"
@@ -9,6 +10,33 @@
 #include "src/util/thread_pool.h"
 
 namespace rap::graph {
+namespace {
+
+std::string dense_limit_message(std::size_t nodes, std::size_t limit) {
+  // n^2 doubles, reported in MiB so the message is meaningful whether the
+  // overshoot is 2x or 100x.
+  const double mib =
+      static_cast<double>(nodes) * static_cast<double>(nodes) * 8.0 /
+      (1024.0 * 1024.0);
+  return "dense distance matrix refused: " + std::to_string(nodes) +
+         " nodes > limit " + std::to_string(limit) + " (n*n doubles = " +
+         std::to_string(static_cast<long long>(mib)) +
+         " MiB); use a sparse DistanceOracle backend (src/graph/oracle.h)";
+}
+
+}  // namespace
+
+DenseLimitError::DenseLimitError(std::size_t nodes, std::size_t limit)
+    : std::runtime_error(dense_limit_message(nodes, limit)),
+      nodes_(nodes),
+      limit_(limit) {}
+
+void DistanceMatrix::check_dense_limit(std::size_t n, std::size_t node_limit) {
+  if (node_limit != 0 && n > node_limit) {
+    throw DenseLimitError(n, node_limit);
+  }
+}
+
 namespace {
 
 // Source rows per chunk. Fixed — never derived from the thread count — so

@@ -12,11 +12,38 @@
 
 namespace rap::graph {
 
+/// Hard ceiling on dense-matrix construction. 16384^2 doubles is 2 GiB —
+/// the largest allocation that is still plausibly intentional; anything
+/// bigger OOM-kills small machines long before the |V| Dijkstras finish.
+/// Metro-scale instances must go through a sparse DistanceOracle backend
+/// (src/graph/oracle.h) instead of materialising n^2 distances.
+inline constexpr std::size_t kDenseNodeLimit = 16384;
+
+/// Structured failure for an over-limit dense matrix: thrown *before* the
+/// n^2 allocation so callers fail fast instead of dying in the allocator.
+/// The serve layer maps this to the `rap.serve.v1` error code
+/// "resource_limit" (src/serve/protocol.h).
+class DenseLimitError : public std::runtime_error {
+ public:
+  DenseLimitError(std::size_t nodes, std::size_t limit);
+
+  [[nodiscard]] std::size_t nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t nodes_;
+  std::size_t limit_;
+};
+
 /// Dense |V| x |V| distance matrix.
 class DistanceMatrix {
  public:
-  explicit DistanceMatrix(std::size_t n)
-      : n_(n), dist_(n * n, 0.0) {}
+  /// Throws DenseLimitError when `n > node_limit` — before allocating.
+  /// Callers with a measured budget may pass their own limit; 0 means
+  /// "no limit" (tests of the boundary itself).
+  explicit DistanceMatrix(std::size_t n,
+                          std::size_t node_limit = kDenseNodeLimit)
+      : n_((check_dense_limit(n, node_limit), n)), dist_(n * n, 0.0) {}
 
   [[nodiscard]] std::size_t size() const noexcept { return n_; }
 
@@ -56,6 +83,9 @@ class DistanceMatrix {
       throw std::out_of_range("DistanceMatrix: bad row id");
     }
   }
+
+  // Throws DenseLimitError when n exceeds the limit (limit 0 = unlimited).
+  static void check_dense_limit(std::size_t n, std::size_t node_limit);
 
   std::size_t n_;
   std::vector<double> dist_;

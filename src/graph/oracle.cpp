@@ -1,0 +1,479 @@
+#include "src/graph/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "src/graph/dijkstra.h"
+#include "src/obs/telemetry.h"
+#include "src/util/rng.h"
+
+namespace rap::graph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Heuristic deflation. Both helpers shave kHeuristicSlack *relative to the
+// magnitude of the operands* (not of the result), because the rounding error
+// in the operands scales with the operands: d(L,t) - d(L,v) can be a tiny
+// difference of two huge table entries.
+// ---------------------------------------------------------------------------
+
+/// `value` approximates an exact distance >= 0 (e.g. a reverse-Dijkstra
+/// sum). Returns a safe lower bound on every floating-point forward path
+/// sum of that distance. kUnreachable passes through (an exact infinity).
+double deflate_value(double value) {
+  if (value == kUnreachable) return kUnreachable;
+  const double lb = value - kHeuristicSlack * value;
+  return lb > 0.0 ? lb : 0.0;
+}
+
+/// `a - b` as a safe lower bound when a and b each approximate exact
+/// distances; clamped at 0 (a vacuous bound, never harmful).
+double deflate_diff(double a, double b) {
+  const double lb = (a - b) - kHeuristicSlack * (std::abs(a) + std::abs(b));
+  return lb > 0.0 ? lb : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local, epoch-stamped search scratch: queries are allocation-free
+// after the first on each thread, and nothing persists across queries except
+// capacity. One instance serves every oracle on the thread (sizes grow
+// monotonically; a query fully defines its state via the epoch stamps).
+// ---------------------------------------------------------------------------
+
+struct QueryScratch {
+  std::size_t n = 0;
+  std::uint32_t epoch = 0;
+  std::vector<double> g;  // forward tentative distances (the fixpoint side)
+  std::vector<std::uint32_t> g_epoch;
+  std::vector<double> b;  // backward tentative distances (heuristic side)
+  std::vector<std::uint32_t> b_epoch;
+  std::vector<std::uint8_t> b_settled;
+  std::vector<double> h;  // memoised heuristic values for this target
+  std::vector<std::uint32_t> h_epoch;
+  std::vector<NodeId> g_touched;
+
+  void begin(std::size_t nodes) {
+    if (nodes > n) {
+      n = nodes;
+      g.resize(n);
+      b.resize(n);
+      h.resize(n);
+      b_settled.assign(n, 0);
+      g_epoch.assign(n, 0);
+      b_epoch.assign(n, 0);
+      h_epoch.assign(n, 0);
+      epoch = 0;
+    }
+    if (++epoch == 0) {  // epoch counter wrapped: re-stamp and restart at 1
+      std::fill(g_epoch.begin(), g_epoch.end(), 0U);
+      std::fill(b_epoch.begin(), b_epoch.end(), 0U);
+      std::fill(h_epoch.begin(), h_epoch.end(), 0U);
+      epoch = 1;
+    }
+    g_touched.clear();
+  }
+
+  [[nodiscard]] bool has_g(NodeId v) const { return g_epoch[v] == epoch; }
+  [[nodiscard]] bool has_b(NodeId v) const { return b_epoch[v] == epoch; }
+  void set_g(NodeId v, double value) {
+    if (!has_g(v)) {
+      g_epoch[v] = epoch;
+      g_touched.push_back(v);
+    }
+    g[v] = value;
+  }
+  void set_b(NodeId v, double value) {
+    if (!has_b(v)) b_epoch[v] = epoch;
+    b_settled[v] = 0;
+    b[v] = value;
+  }
+};
+
+QueryScratch& scratch() {
+  thread_local QueryScratch s;
+  return s;
+}
+
+struct AstarEntry {
+  double key;  // g for plain Dijkstra phases, g + h for A* phases
+  double g;
+  NodeId node;
+  friend bool operator>(const AstarEntry& a, const AstarEntry& b) noexcept {
+    return a.key > b.key;
+  }
+};
+
+using AstarQueue =
+    std::priority_queue<AstarEntry, std::vector<AstarEntry>, std::greater<>>;
+
+/// Forward A* from the current scratch state until `target` settles.
+/// `heur(v)` must be a lower bound on every floating-point forward path sum
+/// v -> target (kUnreachable prunes v entirely — it must then be an *exact*
+/// infinity). Every g mutation is a forward relaxation fl(g[u] + w), so the
+/// returned value is the forward fixpoint — bitwise equal to the dense APSP
+/// entry.
+template <typename Heuristic>
+double astar_finish(const RoadNetwork& net, NodeId target, QueryScratch& s,
+                    AstarQueue& queue, const Heuristic& heur,
+                    std::uint64_t& settled, std::uint64_t& pushes) {
+  while (!queue.empty()) {
+    const AstarEntry top = queue.top();
+    queue.pop();
+    if (top.g > s.g[top.node]) continue;  // stale entry
+    ++settled;
+    if (top.node == target) return top.g;
+    for (const EdgeId id : net.out_edges(top.node)) {
+      const Edge& e = net.edge(id);
+      const double cand = top.g + e.length;
+      if (!s.has_g(e.to) || cand < s.g[e.to]) {
+        s.set_g(e.to, cand);
+        const double hv = heur(e.to);
+        if (hv == kUnreachable) continue;  // provably cannot reach target
+        queue.push({cand + hv, cand, e.to});
+        ++pushes;
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+void flush_query_metrics(std::uint64_t settled, std::uint64_t pushes) {
+  if (obs::ambient() == nullptr) return;
+  obs::add_counter("graph.oracle.queries");
+  obs::add_counter("graph.oracle.settled", settled);
+  obs::add_counter("graph.oracle.heap_pushes", pushes);
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// DistanceOracle
+// --------------------------------------------------------------------------
+
+std::vector<double> DistanceOracle::distances_from(
+    NodeId source, const std::vector<NodeId>& targets) const {
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (const NodeId t : targets) out.push_back(distance(source, t));
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// DenseOracle
+// --------------------------------------------------------------------------
+
+DenseOracle::DenseOracle(const RoadNetwork& net, std::size_t matrix_node_limit)
+    : matrix_(std::make_shared<const DistanceMatrix>([&] {
+        // The guard must fire before the |V| Dijkstras, not only before the
+        // allocation, so an over-limit build fails in microseconds.
+        if (matrix_node_limit != 0 && net.num_nodes() > matrix_node_limit) {
+          throw DenseLimitError(net.num_nodes(), matrix_node_limit);
+        }
+        return all_pairs_shortest_paths(net);
+      }())) {}
+
+DenseOracle::DenseOracle(std::shared_ptr<const DistanceMatrix> matrix)
+    : matrix_(std::move(matrix)) {
+  if (matrix_ == nullptr) {
+    throw std::invalid_argument("DenseOracle: null matrix");
+  }
+}
+
+double DenseOracle::distance(NodeId from, NodeId to) const {
+  if (obs::ambient() != nullptr) obs::add_counter("graph.oracle.queries");
+  return (*matrix_)(from, to);
+}
+
+std::vector<double> DenseOracle::distances_from(
+    NodeId source, const std::vector<NodeId>& targets) const {
+  const std::span<const double> row = matrix_->row(source);
+  std::vector<double> out;
+  out.reserve(targets.size());
+  for (const NodeId t : targets) {
+    if (t >= matrix_->size()) {
+      throw std::out_of_range("DenseOracle: bad node id");
+    }
+    out.push_back(row[t]);
+  }
+  if (obs::ambient() != nullptr) {
+    obs::add_counter("graph.oracle.queries", targets.size());
+  }
+  return out;
+}
+
+std::size_t DenseOracle::memory_bytes() const noexcept {
+  return matrix_->size() * matrix_->size() * sizeof(double);
+}
+
+// --------------------------------------------------------------------------
+// BidirectionalOracle
+// --------------------------------------------------------------------------
+
+BidirectionalOracle::BidirectionalOracle(const RoadNetwork& net)
+    : net_(&net) {}
+
+std::size_t BidirectionalOracle::memory_bytes() const noexcept { return 0; }
+
+double BidirectionalOracle::distance(NodeId from, NodeId to) const {
+  net_->check_node(from);
+  net_->check_node(to);
+  if (from == to) return 0.0;
+  QueryScratch& s = scratch();
+  s.begin(net_->num_nodes());
+  std::uint64_t settled = 0;
+  std::uint64_t pushes = 2;
+
+  // Phase 1: grow forward and backward Dijkstra balls, always expanding the
+  // side with the smaller radius, until the radii cover the best tentative
+  // meet. This phase only *bounds* the search — the backward values feed the
+  // phase-2 heuristic, never the answer — so the floating-point wobble in
+  // `meet` is harmless.
+  AstarQueue fwd;
+  AstarQueue bwd;
+  s.set_g(from, 0.0);
+  fwd.push({0.0, 0.0, from});
+  s.set_b(to, 0.0);
+  bwd.push({0.0, 0.0, to});
+  double meet = kUnreachable;
+  while (!fwd.empty() && !bwd.empty()) {
+    if (meet != kUnreachable && fwd.top().key + bwd.top().key >= meet) break;
+    if (fwd.top().key <= bwd.top().key) {
+      const AstarEntry e = fwd.top();
+      fwd.pop();
+      if (e.g > s.g[e.node]) continue;  // stale
+      ++settled;
+      if (e.node == to) {
+        // Forward-settled target: the plain-Dijkstra pop order makes this
+        // the forward fixpoint already.
+        flush_query_metrics(settled, pushes);
+        return e.g;
+      }
+      for (const EdgeId id : net_->out_edges(e.node)) {
+        const Edge& edge = net_->edge(id);
+        const double cand = e.g + edge.length;
+        if (!s.has_g(edge.to) || cand < s.g[edge.to]) {
+          s.set_g(edge.to, cand);
+          fwd.push({cand, cand, edge.to});
+          ++pushes;
+          if (s.has_b(edge.to) && s.b_settled[edge.to] != 0) {
+            meet = std::min(meet, cand + s.b[edge.to]);
+          }
+        }
+      }
+    } else {
+      const AstarEntry e = bwd.top();
+      bwd.pop();
+      if (e.g > s.b[e.node]) continue;  // stale
+      ++settled;
+      s.b_settled[e.node] = 1;
+      if (s.has_g(e.node)) meet = std::min(meet, s.g[e.node] + e.g);
+      for (const EdgeId id : net_->in_edges(e.node)) {
+        const Edge& edge = net_->edge(id);
+        const double cand = e.g + edge.length;
+        if (!s.has_b(edge.from) || cand < s.b[edge.from]) {
+          s.set_b(edge.from, cand);
+          bwd.push({cand, cand, edge.from});
+          ++pushes;
+        }
+      }
+    }
+  }
+
+  // Phase 2: finish with a forward A* over the frozen backward state.
+  //  * backward-settled v: b[v] approximates d(v, to) -> deflate it;
+  //  * backward-unsettled v while the backward queue is non-empty: Dijkstra
+  //    settles in nondecreasing order, so d(v, to) >= the queue's top key;
+  //  * backward queue drained: every node that can reach `to` is settled,
+  //    so an unsettled v provably cannot -> exact infinity, pruned.
+  const double bfloor =
+      bwd.empty() ? kUnreachable : deflate_value(bwd.top().key);
+  const auto heur = [&](NodeId v) -> double {
+    if (s.has_b(v) && s.b_settled[v] != 0) return deflate_value(s.b[v]);
+    return bfloor;
+  };
+  AstarQueue finish;
+  for (const NodeId v : s.g_touched) {
+    const double hv = heur(v);
+    if (hv == kUnreachable) continue;
+    finish.push({s.g[v] + hv, s.g[v], v});
+    ++pushes;
+  }
+  const double result =
+      astar_finish(*net_, to, s, finish, heur, settled, pushes);
+  flush_query_metrics(settled, pushes);
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// AltOracle
+// --------------------------------------------------------------------------
+
+AltOracle::AltOracle(const RoadNetwork& net, AltParams params) : net_(&net) {
+  const obs::Span span("graph.oracle.preprocess");
+  const std::size_t n = net.num_nodes();
+  if (n == 0) return;
+  const std::size_t count =
+      std::min(params.landmarks == 0 ? std::size_t{1} : params.landmarks, n);
+  landmarks_.reserve(count);
+  fwd_.reserve(count * n);
+  bwd_.reserve(count * n);
+
+  // Seeded farthest-point selection: the first landmark is uniform random;
+  // each next one maximises the distance from its nearest chosen landmark
+  // (unreachable counts as farthest, pulling landmarks into every strongly
+  // connected component), ties to the lowest node id. Deterministic per
+  // (net, params) across platforms and thread counts.
+  util::Rng rng(params.seed);
+  std::vector<double> closest(n, kUnreachable);
+  NodeId next = static_cast<NodeId>(rng.next_below(n));
+  for (std::size_t l = 0; l < count; ++l) {
+    landmarks_.push_back(next);
+    const ShortestPathTree ftree = dijkstra(net, next, Direction::kForward);
+    const ShortestPathTree btree = dijkstra(net, next, Direction::kReverse);
+    fwd_.insert(fwd_.end(), ftree.distances().begin(),
+                ftree.distances().end());
+    bwd_.insert(bwd_.end(), btree.distances().begin(),
+                btree.distances().end());
+    if (l + 1 == count) break;
+    NodeId best = kInvalidNode;
+    double best_score = -1.0;
+    for (NodeId v = 0; v < n; ++v) {
+      closest[v] = std::min(closest[v], ftree.distances()[v]);
+      if (closest[v] > best_score) {
+        best_score = closest[v];
+        best = v;
+      }
+    }
+    next = best;
+  }
+  if (obs::ambient() != nullptr) {
+    obs::add_counter("graph.oracle.landmarks", landmarks_.size());
+  }
+}
+
+std::size_t AltOracle::memory_bytes() const noexcept {
+  return (fwd_.size() + bwd_.size()) * sizeof(double) +
+         landmarks_.size() * sizeof(NodeId);
+}
+
+double AltOracle::heuristic(NodeId from, NodeId to) const {
+  net_->check_node(from);
+  net_->check_node(to);
+  const std::size_t n = net_->num_nodes();
+  double best = 0.0;
+  for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+    const double lv = fwd_[l * n + from];  // d(L -> from)
+    const double lt = fwd_[l * n + to];    // d(L -> to)
+    const double vl = bwd_[l * n + from];  // d(from -> L)
+    const double tl = bwd_[l * n + to];    // d(to -> L)
+    // Reachability contradictions give *exact* infinities: if L reaches
+    // `from` but not `to`, a from->to path would extend L's reach to `to`.
+    if (lv != kUnreachable && lt == kUnreachable) return kUnreachable;
+    if (tl != kUnreachable && vl == kUnreachable) return kUnreachable;
+    // Triangle inequality, both orientations; infinite operands make a
+    // term vacuous (and inf - inf is meaningless), so they are skipped.
+    if (lt != kUnreachable && lv != kUnreachable) {
+      best = std::max(best, deflate_diff(lt, lv));
+    }
+    if (vl != kUnreachable && tl != kUnreachable) {
+      best = std::max(best, deflate_diff(vl, tl));
+    }
+  }
+  return best;
+}
+
+double AltOracle::distance(NodeId from, NodeId to) const {
+  net_->check_node(from);
+  net_->check_node(to);
+  if (from == to) return 0.0;
+  QueryScratch& s = scratch();
+  s.begin(net_->num_nodes());
+  const auto heur = [&](NodeId v) -> double {
+    if (s.h_epoch[v] == s.epoch) return s.h[v];
+    const double value = heuristic(v, to);
+    s.h_epoch[v] = s.epoch;
+    s.h[v] = value;
+    return value;
+  };
+  std::uint64_t settled = 0;
+  std::uint64_t pushes = 0;
+  double result = kUnreachable;
+  s.set_g(from, 0.0);
+  const double h0 = heur(from);
+  if (h0 != kUnreachable) {
+    AstarQueue queue;
+    queue.push({h0, 0.0, from});
+    ++pushes;
+    result = astar_finish(*net_, to, s, queue, heur, settled, pushes);
+  }
+  flush_query_metrics(settled, pushes);
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// Policy
+// --------------------------------------------------------------------------
+
+OracleBackend resolve_oracle_backend(const OraclePolicy& policy,
+                                     std::size_t num_nodes) {
+  if (policy.backend == "dense") return OracleBackend::kDense;
+  if (policy.backend == "bidijkstra") return OracleBackend::kBidirectional;
+  if (policy.backend == "alt") return OracleBackend::kAlt;
+  if (policy.backend == "auto") {
+    return num_nodes <= policy.dense_node_limit ? OracleBackend::kDense
+                                                : OracleBackend::kAlt;
+  }
+  throw std::invalid_argument("unknown oracle backend \"" + policy.backend +
+                              "\" (expected auto|dense|bidijkstra|alt)");
+}
+
+std::string_view to_string(OracleBackend backend) noexcept {
+  switch (backend) {
+    case OracleBackend::kDense:
+      return "dense";
+    case OracleBackend::kBidirectional:
+      return "bidijkstra";
+    case OracleBackend::kAlt:
+      return "alt";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const DistanceOracle> make_oracle(const RoadNetwork& net,
+                                                  const OraclePolicy& policy) {
+  const obs::Span span("graph.oracle.build");
+  const OracleBackend backend =
+      resolve_oracle_backend(policy, net.num_nodes());
+  std::shared_ptr<const DistanceOracle> oracle;
+  switch (backend) {
+    case OracleBackend::kDense:
+      oracle =
+          std::make_shared<const DenseOracle>(net, policy.matrix_node_limit);
+      if (obs::ambient() != nullptr) {
+        obs::add_counter("graph.oracle.build.dense");
+      }
+      break;
+    case OracleBackend::kBidirectional:
+      oracle = std::make_shared<const BidirectionalOracle>(net);
+      if (obs::ambient() != nullptr) {
+        obs::add_counter("graph.oracle.build.bidijkstra");
+      }
+      break;
+    case OracleBackend::kAlt:
+      oracle = std::make_shared<const AltOracle>(
+          net, AltParams{policy.landmarks, policy.landmark_seed});
+      if (obs::ambient() != nullptr) {
+        obs::add_counter("graph.oracle.build.alt");
+      }
+      break;
+  }
+  if (obs::ambient() != nullptr) {
+    obs::set_gauge("graph.oracle.memory_bytes",
+                   static_cast<double>(oracle->memory_bytes()));
+  }
+  return oracle;
+}
+
+}  // namespace rap::graph

@@ -1,0 +1,60 @@
+#include "src/graph/oracle_cache.h"
+
+#include "src/obs/telemetry.h"
+
+namespace rap::graph {
+
+bool SparseDistanceCache::lookup(NodeId from, NodeId to, double* out) {
+  bool hit = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key(from, to));
+    if (it != map_.end()) {
+      *out = it->second;
+      ++stats_.hits;
+      hit = true;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  // Counters flush outside the lock: the ambient sink is per-thread, so the
+  // registry update needs no serialisation with other cache users.
+  if (obs::ambient() != nullptr) {
+    obs::add_counter(hit ? "graph.oracle.cache.hits"
+                         : "graph.oracle.cache.misses");
+  }
+  return hit;
+}
+
+void SparseDistanceCache::insert(NodeId from, NodeId to, double value) {
+  if (max_entries_ == 0) return;
+  std::uint64_t evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (map_.size() >= max_entries_ &&
+        map_.find(key(from, to)) == map_.end()) {
+      evicted = map_.size();
+      map_.clear();
+      stats_.evictions += evicted;
+      ++stats_.flushes;
+    }
+    map_.insert_or_assign(key(from, to), value);
+    ++stats_.insertions;
+  }
+  if (evicted != 0 && obs::ambient() != nullptr) {
+    obs::add_counter("graph.oracle.cache.evictions", evicted);
+    obs::add_counter("graph.oracle.cache.flushes");
+  }
+}
+
+SparseDistanceCache::Stats SparseDistanceCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SparseDistanceCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+}  // namespace rap::graph

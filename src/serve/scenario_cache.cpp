@@ -159,6 +159,11 @@ std::size_t estimate_bytes(const ServeScenario& scenario) {
   bytes += path_nodes * sizeof(graph::NodeId);  // the paths themselves
   bytes += scenario.net.num_nodes() * 2 * 16;   // to-shop + from-shop trees
   bytes += path_nodes * 2 * 16;                 // incidence index, both axes
+  if (scenario.oracle != nullptr) bytes += scenario.oracle->memory_bytes();
+  if (scenario.oracle_cache != nullptr) {
+    // Post-warm resident entries (key + value + bucket overhead).
+    bytes += scenario.oracle_cache->size() * 24;
+  }
   return bytes;
 }
 
@@ -221,8 +226,9 @@ std::uint64_t scenario_key(const ScenarioSpec& spec) {
   return key;
 }
 
-std::shared_ptr<const ServeScenario> build_scenario(const ScenarioSpec& spec,
-                                                    std::uint64_t key) {
+std::shared_ptr<const ServeScenario> build_scenario(
+    const ScenarioSpec& spec, std::uint64_t key,
+    const traffic::DetourEnginePolicy& policy) {
   validate_spec(spec);
   const obs::Span span("serve.scenario_build");
   auto scenario = std::make_shared<ServeScenario>();
@@ -246,8 +252,12 @@ std::shared_ptr<const ServeScenario> build_scenario(const ScenarioSpec& spec,
   scenario->utility =
       traffic::make_utility(utility_kind_or_throw(spec.utility), spec.range);
   scenario->shop = pick_shop(spec, scenario->net, scenario->flows);
-  scenario->detours = std::make_shared<const traffic::DetourCalculator>(
-      scenario->net, scenario->shop);
+  traffic::DetourEngine engine = traffic::make_detour_engine(
+      scenario->net, scenario->shop, scenario->flows, policy);
+  scenario->detours = std::move(engine.detours);
+  scenario->detour_engine = std::move(engine.engine);
+  scenario->oracle = std::move(engine.oracle);
+  scenario->oracle_cache = std::move(engine.cache);
   scenario->problem = std::make_unique<core::PlacementProblem>(
       scenario->net, scenario->flows, scenario->shop, *scenario->utility,
       std::make_unique<SharedDetours>(scenario->detours));
@@ -256,6 +266,11 @@ std::shared_ptr<const ServeScenario> build_scenario(const ScenarioSpec& spec,
                       std::to_string(scenario->net.num_nodes()) +
                       " intersections, " + std::to_string(scenario->flows.size()) +
                       " flows, utility " + scenario->utility->name();
+  // The classic engine keeps the historical summary byte-identical; oracle
+  // engines announce themselves.
+  if (scenario->detour_engine != "dijkstra") {
+    scenario->summary += ", detours " + scenario->detour_engine;
+  }
   return scenario;
 }
 

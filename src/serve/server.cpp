@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/graph/apsp.h"
 #include "src/obs/events.h"
 #include "src/traffic/flow.h"
 #include "src/util/thread_pool.h"
@@ -190,11 +191,16 @@ JsonValue Server::handle_load(const JsonValue::Object& request) {
     scenario = cache_.lookup(key);
     cached = scenario != nullptr;
     if (!cached) {
-      scenario = build_scenario(spec, key);
+      scenario = build_scenario(spec, key, options_.detours);
       cache_.insert(scenario);
     }
   } catch (const RequestError&) {
     throw;
+  } catch (const graph::DenseLimitError& error) {
+    // A forced dense engine on a city over the matrix node limit: the guard
+    // fires before the n^2 allocation, so the refusal is instant and the
+    // server stays up.
+    throw RequestError("resource_limit", error.what());
   } catch (const std::exception& error) {
     throw RequestError("bad_scenario", error.what());
   }
@@ -204,6 +210,7 @@ JsonValue Server::handle_load(const JsonValue::Object& request) {
   JsonValue::Object& object = response.as_object();
   object.emplace("key", hex_key(scenario->key));
   object.emplace("cached", cached);
+  object.emplace("engine", scenario->detour_engine);
   object.emplace("summary", scenario->summary);
   object.emplace("nodes", static_cast<double>(scenario->net.num_nodes()));
   object.emplace("flows", static_cast<double>(scenario->flows.size()));

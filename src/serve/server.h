@@ -62,6 +62,12 @@ struct ServerOptions {
   /// Structured JSONL sink for request/cache/warm-start events; nullptr
   /// disables logging. Must outlive the server.
   obs::EventLog* log = nullptr;
+  /// Detour engine policy for every scenario this server builds (rap_serve
+  /// --oracle* flags). The default "auto" keeps the classic per-shop
+  /// Dijkstra engine on small cities and switches to a sparse oracle above
+  /// the node threshold; a forced dense matrix over its node limit turns
+  /// into a "resource_limit" error response.
+  traffic::DetourEnginePolicy detours;
 };
 
 class Server {

@@ -1,0 +1,110 @@
+// Oracle-backed detour engine: ApspDetourCalculator's pricing formula with
+// the n^2 matrix replaced by a pluggable DistanceOracle plus a sparse
+// per-flow distance cache — a flow only ever pays for the O(path-length)
+// distances it actually queries, so metro-scale cities never materialise
+// an n x n matrix.
+//
+// Determinism: the oracle contract (src/graph/oracle.h) guarantees every
+// distance is bitwise identical to the dense matrix entry, so detours — and
+// therefore placements — are bitwise identical to ApspDetourCalculator's no
+// matter which backend prices them (fuzzed by rap_fuzz --family=oracle).
+//
+// Thread safety: detours_along_path is safe to call concurrently (the cache
+// is internally synchronised, oracle queries use thread-local scratch) —
+// the property the serve layer's parallel place_batch relies on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/graph/oracle.h"
+#include "src/graph/oracle_cache.h"
+#include "src/traffic/detour.h"
+
+namespace rap::traffic {
+
+class OracleDetourCalculator final : public DetourSource {
+ public:
+  /// `net` must outlive the calculator; `oracle` must match `net`. A null
+  /// `cache` disables caching (every query hits the oracle).
+  OracleDetourCalculator(const graph::RoadNetwork& net,
+                         std::shared_ptr<const graph::DistanceOracle> oracle,
+                         graph::NodeId shop,
+                         DetourMode mode = DetourMode::kAlongPath,
+                         std::shared_ptr<graph::SparseDistanceCache> cache =
+                             nullptr);
+
+  [[nodiscard]] graph::NodeId shop() const noexcept { return shop_; }
+  [[nodiscard]] DetourMode mode() const noexcept { return mode_; }
+  [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept {
+    return *oracle_;
+  }
+  [[nodiscard]] std::shared_ptr<graph::SparseDistanceCache> cache()
+      const noexcept {
+    return cache_;
+  }
+
+  [[nodiscard]] std::vector<double> detours_along_path(
+      const TrafficFlow& flow) const override;
+
+  /// Pre-computes every distance the given flows will query, in parallel
+  /// (deterministic: the distinct key set is sorted, values are pure
+  /// functions of keys). With a cache attached, the subsequent per-flow
+  /// pricing pass is all hits; without one this is a no-op.
+  void warm(std::span<const TrafficFlow> flows) const;
+
+ private:
+  [[nodiscard]] double cached_distance(graph::NodeId from,
+                                       graph::NodeId to) const;
+
+  const graph::RoadNetwork* net_;
+  std::shared_ptr<const graph::DistanceOracle> oracle_;
+  graph::NodeId shop_;
+  DetourMode mode_;
+  std::shared_ptr<graph::SparseDistanceCache> cache_;
+};
+
+/// Engine-selection policy shared by rap_cli, rap_serve and the serve
+/// scenario builder: which detour engine prices a scenario's flows.
+///
+/// "auto" keeps the classic per-shop two-Dijkstra DetourCalculator on small
+/// cities (n <= dijkstra_node_limit) — byte-for-byte today's behaviour —
+/// and switches to the oracle-backed engine above it, where an n^2 matrix
+/// or per-query full Dijkstras stop being affordable.
+struct DetourEnginePolicy {
+  /// "auto" | "dijkstra" | "dense" | "bidijkstra" | "alt".
+  std::string engine = "auto";
+  /// Auto crossover: node count above which auto abandons the per-shop
+  /// Dijkstra engine for the oracle-backed one.
+  std::size_t dijkstra_node_limit = 4096;
+  /// Oracle construction knobs; `oracle.backend` is overridden by `engine`
+  /// when a concrete oracle engine is named.
+  graph::OraclePolicy oracle;
+  /// Sparse distance cache capacity for the oracle engine (0 = uncached).
+  std::size_t cache_entries = graph::SparseDistanceCache::kDefaultMaxEntries;
+};
+
+/// The resolved engine name for a concrete node count:
+/// "dijkstra" | "dense" | "bidijkstra" | "alt". Throws
+/// std::invalid_argument on an unknown engine string.
+[[nodiscard]] std::string resolve_detour_engine(
+    const DetourEnginePolicy& policy, std::size_t num_nodes);
+
+/// A built detour engine plus the oracle state behind it (null for the
+/// "dijkstra" engine, which has none).
+struct DetourEngine {
+  std::string engine;  ///< resolved name
+  std::shared_ptr<const DetourSource> detours;
+  std::shared_ptr<const graph::DistanceOracle> oracle;
+  std::shared_ptr<graph::SparseDistanceCache> cache;
+};
+
+/// Builds the policy-selected engine for `shop` and pre-warms the oracle
+/// cache with every distance `flows` will query. `net` must outlive the
+/// returned engine.
+[[nodiscard]] DetourEngine make_detour_engine(
+    const graph::RoadNetwork& net, graph::NodeId shop,
+    std::span<const TrafficFlow> flows, const DetourEnginePolicy& policy = {});
+
+}  // namespace rap::traffic

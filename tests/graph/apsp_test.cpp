@@ -188,5 +188,41 @@ TEST(ParallelApsp, EmptyGraph) {
   EXPECT_EQ(all_pairs_shortest_paths(net).size(), 0u);
 }
 
+// --- dense-limit guard (fail fast instead of OOM-killing the process) ----
+
+TEST(DenseLimit, BoundaryIsExact) {
+  // Exactly at the limit constructs; one past it throws — *before* the
+  // n^2 allocation (a 10^5-node matrix would be 80 GB; the throw proves the
+  // guard fired first, instantly).
+  EXPECT_NO_THROW(DistanceMatrix(8, 8));
+  EXPECT_THROW(DistanceMatrix(9, 8), DenseLimitError);
+  EXPECT_THROW(DistanceMatrix(100000), DenseLimitError);
+}
+
+TEST(DenseLimit, ZeroLimitMeansUnlimited) {
+  const DistanceMatrix m(3, 0);
+  EXPECT_EQ(3U, m.size());
+}
+
+TEST(DenseLimit, ErrorCarriesStructuredFields) {
+  try {
+    const DistanceMatrix m(20000, 16384);
+    FAIL() << "expected DenseLimitError";
+  } catch (const DenseLimitError& e) {
+    EXPECT_EQ(20000U, e.nodes());
+    EXPECT_EQ(16384U, e.limit());
+    const std::string message = e.what();
+    EXPECT_NE(std::string::npos, message.find("20000"));
+    EXPECT_NE(std::string::npos, message.find("oracle"));
+  }
+}
+
+TEST(DenseLimit, DefaultLimitAdmitsEveryTierOneCity) {
+  // The default ceiling is far above any toy-city test instance, so the
+  // guard is invisible to the existing suites.
+  EXPECT_NO_THROW(DistanceMatrix(441));  // 21x21 Seattle-sized grid
+  EXPECT_NO_THROW(DistanceMatrix{kDenseNodeLimit});
+}
+
 }  // namespace
 }  // namespace rap::graph

@@ -1,0 +1,117 @@
+// Sparse distance cache: hit/miss accounting against the graph.oracle.*
+// metrics, generation-flush eviction determinism, and the disabled (zero
+// capacity) mode.
+#include "src/graph/oracle_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/obs/telemetry.h"
+
+namespace rap::graph {
+namespace {
+
+TEST(SparseDistanceCache, HitMissAccountingMatchesMetrics) {
+  SparseDistanceCache cache(16);
+  obs::Telemetry telemetry;
+  double value = 0.0;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    EXPECT_FALSE(cache.lookup(1, 2, &value));
+    cache.insert(1, 2, 42.5);
+    EXPECT_TRUE(cache.lookup(1, 2, &value));
+    EXPECT_EQ(42.5, value);
+    EXPECT_FALSE(cache.lookup(2, 1, &value));  // direction matters
+  }
+  const SparseDistanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(1U, stats.hits);
+  EXPECT_EQ(2U, stats.misses);
+  EXPECT_EQ(1U, stats.insertions);
+  EXPECT_EQ(0U, stats.evictions);
+  EXPECT_EQ(stats.hits,
+            telemetry.metrics.counter("graph.oracle.cache.hits").value());
+  EXPECT_EQ(stats.misses,
+            telemetry.metrics.counter("graph.oracle.cache.misses").value());
+}
+
+TEST(SparseDistanceCache, GenerationFlushBoundaryIsDeterministic) {
+  // Capacity 4: the 5th distinct insert flushes the generation — always
+  // exactly there, independent of timing.
+  SparseDistanceCache cache(4);
+  for (NodeId i = 0; i < 4; ++i) cache.insert(i, i + 1, 1.0 * i);
+  EXPECT_EQ(4U, cache.size());
+  EXPECT_EQ(0U, cache.stats().flushes);
+  // Re-inserting an existing key at capacity is an update, not a flush.
+  cache.insert(0, 1, 9.0);
+  EXPECT_EQ(4U, cache.size());
+  EXPECT_EQ(0U, cache.stats().flushes);
+  double value = 0.0;
+  EXPECT_TRUE(cache.lookup(0, 1, &value));
+  EXPECT_EQ(9.0, value);
+
+  cache.insert(100, 200, 7.0);  // distinct key -> flush
+  const SparseDistanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(1U, stats.flushes);
+  EXPECT_EQ(4U, stats.evictions);
+  EXPECT_EQ(1U, cache.size());
+  EXPECT_TRUE(cache.lookup(100, 200, &value));
+  EXPECT_EQ(7.0, value);
+  EXPECT_FALSE(cache.lookup(0, 1, &value));  // old generation gone
+}
+
+TEST(SparseDistanceCache, EvictionMetricsFlow) {
+  SparseDistanceCache cache(2);
+  obs::Telemetry telemetry;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    cache.insert(0, 1, 1.0);
+    cache.insert(0, 2, 2.0);
+    cache.insert(0, 3, 3.0);  // flushes 2 entries
+  }
+  EXPECT_EQ(2U,
+            telemetry.metrics.counter("graph.oracle.cache.evictions").value());
+  EXPECT_EQ(1U,
+            telemetry.metrics.counter("graph.oracle.cache.flushes").value());
+}
+
+TEST(SparseDistanceCache, ZeroCapacityDisablesStorage) {
+  SparseDistanceCache cache(0);
+  cache.insert(1, 2, 3.0);
+  EXPECT_EQ(0U, cache.size());
+  double value = 0.0;
+  EXPECT_FALSE(cache.lookup(1, 2, &value));
+  EXPECT_EQ(1U, cache.stats().misses);
+  EXPECT_EQ(0U, cache.stats().insertions);
+}
+
+TEST(SparseDistanceCache, ConcurrentMixedUseIsExactlyAccounted) {
+  // 4 threads, disjoint key ranges: totals must be exact (the mutex serialises
+  // mutation), sizes bounded by capacity.
+  SparseDistanceCache cache(1U << 12);
+  constexpr int kThreads = 4;
+  constexpr NodeId kPerThread = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&cache, w] {
+      const NodeId base = static_cast<NodeId>(w) * kPerThread;
+      double value = 0.0;
+      for (NodeId i = 0; i < kPerThread; ++i) {
+        (void)cache.lookup(base + i, 1, &value);  // miss
+        cache.insert(base + i, 1, static_cast<double>(i));
+        (void)cache.lookup(base + i, 1, &value);  // hit
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const SparseDistanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(kThreads * kPerThread, stats.misses);
+  EXPECT_EQ(kThreads * kPerThread, stats.hits);
+  EXPECT_EQ(kThreads * kPerThread, stats.insertions);
+  EXPECT_EQ(kThreads * kPerThread, cache.size());
+}
+
+}  // namespace
+}  // namespace rap::graph

@@ -1,0 +1,302 @@
+// Differential suite for the distance-oracle backends: every backend must
+// return distances *bitwise identical* to the dense APSP matrix (the
+// determinism contract of src/graph/oracle.h), across all generated-city
+// families and random seeds, plus ALT admissibility/consistency property
+// tests and the backend-selection policy.
+#include "src/graph/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/citygen/grid_city.h"
+#include "src/citygen/partial_grid_city.h"
+#include "src/citygen/radial_city.h"
+#include "src/graph/apsp.h"
+#include "src/graph/dijkstra.h"
+#include "src/obs/telemetry.h"
+#include "src/util/rng.h"
+#include "tests/testing/builders.h"
+
+namespace rap::graph {
+namespace {
+
+// EXPECT_EQ on doubles is exact (==): the contract is bitwise equality, and
+// the only non-finite value in play is +infinity, where == is also what we
+// mean.
+void expect_all_pairs_match(const RoadNetwork& net,
+                            const DistanceOracle& oracle) {
+  const DistanceMatrix matrix = all_pairs_shortest_paths(net);
+  const auto n = static_cast<NodeId>(net.num_nodes());
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      ASSERT_EQ(matrix(s, t), oracle.distance(s, t))
+          << oracle.name() << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+std::vector<std::unique_ptr<const DistanceOracle>> sparse_backends(
+    const RoadNetwork& net, std::uint64_t seed) {
+  std::vector<std::unique_ptr<const DistanceOracle>> out;
+  out.push_back(std::make_unique<BidirectionalOracle>(net));
+  out.push_back(std::make_unique<AltOracle>(net, AltParams{4, seed}));
+  out.push_back(std::make_unique<AltOracle>(net, AltParams{1, seed + 1}));
+  return out;
+}
+
+TEST(OracleDifferential, GridCityAllBackends) {
+  const citygen::GridCity city({5, 4, 300.0});
+  for (const auto& oracle : sparse_backends(city.network(), 7)) {
+    expect_all_pairs_match(city.network(), *oracle);
+  }
+  expect_all_pairs_match(city.network(), DenseOracle(city.network()));
+}
+
+TEST(OracleDifferential, PartialGridCities) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    util::Rng rng(seed);
+    citygen::PartialGridSpec spec;
+    spec.grid = {7, 6, 400.0};
+    spec.position_jitter = 60.0;
+    spec.oneway_prob = 0.15;
+    const citygen::PartialGridCity city(spec, rng);
+    for (const auto& oracle : sparse_backends(city.network(), seed)) {
+      expect_all_pairs_match(city.network(), *oracle);
+    }
+  }
+}
+
+TEST(OracleDifferential, RadialCities) {
+  for (const std::uint64_t seed : {11ULL, 12ULL}) {
+    util::Rng rng(seed);
+    citygen::RadialSpec spec;
+    spec.rings = 4;
+    spec.ring_spacing = 500.0;
+    spec.chord_prob = 0.2;
+    spec.oneway_prob = 0.1;
+    const RoadNetwork net = citygen::build_radial_city(spec, rng);
+    for (const auto& oracle : sparse_backends(net, seed)) {
+      expect_all_pairs_match(net, *oracle);
+    }
+  }
+}
+
+TEST(OracleDifferential, RandomChordNetworks) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    const RoadNetwork net = testing::random_network(5, 4, 6, rng);
+    for (const auto& oracle : sparse_backends(net, seed)) {
+      expect_all_pairs_match(net, *oracle);
+    }
+  }
+}
+
+// Disconnected graphs: unreachable pairs must come back as the same
+// +infinity the matrix holds, and reachable pairs within each component
+// must still match bitwise.
+TEST(OracleDifferential, DisconnectedComponents) {
+  RoadNetwork net = testing::line_network(4);
+  // A second, unreachable component.
+  const NodeId a = net.add_node({10.0, 0.0});
+  const NodeId b = net.add_node({11.0, 0.0});
+  net.add_two_way_edge(a, b, 1.0);
+  // A one-way trap: reachable from the line, no way back.
+  const NodeId trap = net.add_node({5.0, 5.0});
+  net.add_edge(3, trap, 2.5);
+  for (const auto& oracle : sparse_backends(net, 3)) {
+    expect_all_pairs_match(net, *oracle);
+  }
+}
+
+TEST(OracleDifferential, IrregularLengthsStressFloatingPoint) {
+  // Irregular edge lengths make floating-point association visible: any
+  // backend that summed distances in a different order than the forward
+  // fixpoint would differ by ulps here.
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    util::Rng rng(seed);
+    RoadNetwork net = testing::random_network(4, 4, 3, rng);
+    // Re-price every edge with an irrational-ish length.
+    RoadNetwork priced;
+    for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+      priced.add_node(net.position(static_cast<NodeId>(i)));
+    }
+    for (const Edge& e : net.edges()) {
+      priced.add_edge(e.from, e.to, e.length * (1.0 + rng.next_double()) / 3.0);
+    }
+    for (const auto& oracle : sparse_backends(priced, seed)) {
+      expect_all_pairs_match(priced, *oracle);
+    }
+  }
+}
+
+TEST(OracleBatch, DistancesFromMatchesPointQueries) {
+  const citygen::GridCity city({4, 4, 250.0});
+  const RoadNetwork& net = city.network();
+  std::vector<NodeId> targets;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) targets.push_back(v);
+  const DenseOracle dense(net);
+  const AltOracle alt(net, {2, 5});
+  for (NodeId s = 0; s < net.num_nodes(); ++s) {
+    const std::vector<double> from_dense = dense.distances_from(s, targets);
+    const std::vector<double> from_alt = alt.distances_from(s, targets);
+    ASSERT_EQ(from_dense, from_alt);
+  }
+}
+
+// --- ALT property tests -------------------------------------------------
+
+TEST(AltProperties, HeuristicIsAdmissibleOnAllFamilies) {
+  const auto check = [](const RoadNetwork& net, std::uint64_t seed) {
+    const DistanceMatrix matrix = all_pairs_shortest_paths(net);
+    const AltOracle alt(net, {5, seed});
+    const auto n = static_cast<NodeId>(net.num_nodes());
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId t = 0; t < n; ++t) {
+        ASSERT_LE(alt.heuristic(v, t), matrix(v, t)) << "v=" << v << " t=" << t;
+      }
+    }
+  };
+  check(citygen::GridCity({5, 5, 300.0}).network(), 1);
+  {
+    util::Rng rng(9);
+    citygen::PartialGridSpec spec;
+    spec.grid = {6, 6, 350.0};
+    spec.position_jitter = 40.0;
+    check(citygen::PartialGridCity(spec, rng).network(), 2);
+  }
+  {
+    util::Rng rng(10);
+    citygen::RadialSpec spec;
+    spec.rings = 3;
+    spec.ring_spacing = 400.0;
+    check(citygen::build_radial_city(spec, rng), 3);
+  }
+}
+
+TEST(AltProperties, HeuristicIsConsistentAcrossEdges) {
+  // Consistency: h(u, t) <= w(u -> v) + h(v, t) (+ rounding headroom).
+  // The deflation slack makes the inequality hold with real margin; the
+  // tolerance below only covers the additions in the test itself.
+  util::Rng rng(4);
+  const RoadNetwork net = testing::random_network(5, 5, 8, rng);
+  const AltOracle alt(net, {4, 17});
+  const auto n = static_cast<NodeId>(net.num_nodes());
+  for (NodeId t = 0; t < n; ++t) {
+    for (const Edge& e : net.edges()) {
+      const double hu = alt.heuristic(e.from, t);
+      const double hv = alt.heuristic(e.to, t);
+      if (hu == kUnreachable) {
+        // u provably cannot reach t; then v cannot either (an edge u -> v
+        // cannot *create* reachability for u).
+        continue;
+      }
+      ASSERT_NE(hv, kUnreachable);
+      ASSERT_LE(hu, e.length + hv + 1e-9 * (1.0 + hv));
+    }
+  }
+}
+
+TEST(AltProperties, HeuristicIsZeroAtTarget) {
+  const citygen::GridCity city({4, 3, 200.0});
+  const AltOracle alt(city.network(), {3, 2});
+  for (NodeId v = 0; v < city.network().num_nodes(); ++v) {
+    EXPECT_EQ(0.0, alt.heuristic(v, v));
+  }
+}
+
+TEST(AltProperties, LandmarkSelectionIsSeededAndDeterministic) {
+  util::Rng rng(5);
+  const RoadNetwork net = testing::random_network(6, 5, 4, rng);
+  const AltOracle a(net, {4, 42});
+  const AltOracle b(net, {4, 42});
+  EXPECT_EQ(a.landmarks(), b.landmarks());
+  EXPECT_EQ(4U, a.landmarks().size());
+  // Landmarks are distinct nodes.
+  const std::set<NodeId> unique(a.landmarks().begin(), a.landmarks().end());
+  EXPECT_EQ(a.landmarks().size(), unique.size());
+  // Landmark count clamps to the node count.
+  const RoadNetwork tiny = testing::line_network(3);
+  EXPECT_EQ(3U, AltOracle(tiny, {16, 1}).landmarks().size());
+}
+
+// --- Policy -------------------------------------------------------------
+
+TEST(OraclePolicyTest, AutoPicksDenseBelowThresholdAltAbove) {
+  OraclePolicy policy;
+  policy.dense_node_limit = 100;
+  EXPECT_EQ(OracleBackend::kDense, resolve_oracle_backend(policy, 100));
+  EXPECT_EQ(OracleBackend::kAlt, resolve_oracle_backend(policy, 101));
+  policy.backend = "bidijkstra";
+  EXPECT_EQ(OracleBackend::kBidirectional, resolve_oracle_backend(policy, 10));
+  policy.backend = "dense";
+  EXPECT_EQ(OracleBackend::kDense, resolve_oracle_backend(policy, 1 << 20));
+  policy.backend = "warp";
+  EXPECT_THROW(resolve_oracle_backend(policy, 10), std::invalid_argument);
+}
+
+TEST(OraclePolicyTest, MakeOracleBuildsTheResolvedBackend) {
+  const citygen::GridCity city({4, 4, 100.0});
+  OraclePolicy policy;
+  policy.dense_node_limit = 8;  // 16 nodes -> alt
+  EXPECT_EQ("alt", make_oracle(city.network(), policy)->name());
+  policy.dense_node_limit = 64;
+  EXPECT_EQ("dense", make_oracle(city.network(), policy)->name());
+  policy.backend = "bidijkstra";
+  EXPECT_EQ("bidijkstra", make_oracle(city.network(), policy)->name());
+}
+
+TEST(OraclePolicyTest, DenseBackendRespectsMatrixNodeLimit) {
+  const citygen::GridCity city({5, 5, 100.0});  // 25 nodes
+  OraclePolicy policy;
+  policy.backend = "dense";
+  policy.matrix_node_limit = 16;
+  EXPECT_THROW(make_oracle(city.network(), policy), DenseLimitError);
+  try {
+    make_oracle(city.network(), policy);
+    FAIL() << "expected DenseLimitError";
+  } catch (const DenseLimitError& e) {
+    EXPECT_EQ(25U, e.nodes());
+    EXPECT_EQ(16U, e.limit());
+  }
+}
+
+TEST(OraclePolicyTest, MemoryFootprintsAreOrdered) {
+  const citygen::GridCity city({6, 6, 100.0});
+  const DenseOracle dense(city.network());
+  const AltOracle alt(city.network(), {4, 1});
+  const BidirectionalOracle bidi(city.network());
+  EXPECT_EQ(36U * 36U * sizeof(double), dense.memory_bytes());
+  EXPECT_LT(alt.memory_bytes(), dense.memory_bytes());
+  EXPECT_EQ(0U, bidi.memory_bytes());
+}
+
+// --- Metrics ------------------------------------------------------------
+
+TEST(OracleMetrics, QueriesAndSettledCountersFlow) {
+  const citygen::GridCity city({5, 5, 100.0});
+  const AltOracle alt(city.network(), {2, 3});
+  obs::Telemetry telemetry;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    (void)alt.distance(0, 24);
+    (void)alt.distance(3, 20);
+  }
+  EXPECT_EQ(2U, telemetry.metrics.counter("graph.oracle.queries").value());
+  EXPECT_GE(telemetry.metrics.counter("graph.oracle.settled").value(), 2U);
+  EXPECT_GE(telemetry.metrics.counter("graph.oracle.heap_pushes").value(), 1U);
+}
+
+TEST(OracleErrors, BadNodeIdsThrow) {
+  const RoadNetwork net = testing::line_network(4);
+  const BidirectionalOracle bidi(net);
+  const AltOracle alt(net, {2, 1});
+  EXPECT_THROW((void)bidi.distance(0, 9), std::out_of_range);
+  EXPECT_THROW((void)alt.distance(9, 0), std::out_of_range);
+  EXPECT_THROW((void)alt.heuristic(9, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rap::graph

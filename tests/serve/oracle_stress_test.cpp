@@ -1,0 +1,147 @@
+// Serve layer on oracle detour engines (ctest label "serve-stress", TSan'd
+// in CI): an oracle-engined server must answer placements bitwise identical
+// to the classic Dijkstra-engined server, concurrent sessions on a shared
+// oracle scenario must stay coherent (thread-local search scratch + the
+// internally synchronised distance cache), and a forced dense engine over
+// its node limit must produce a structured "resource_limit" error instead
+// of an n^2 allocation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/scenario_cache.h"
+#include "src/serve/server.h"
+#include "src/serve/session.h"
+
+namespace rap::serve {
+namespace {
+
+constexpr const char* kLoadRequest =
+    R"({"op":"load","city":"grid","seed":3,"journeys":40,"d":1500})";
+
+JsonValue handle(Server& server, const std::string& line) {
+  return parse_json(server.handle_line(line));
+}
+
+JsonValue::Object expect_ok(const JsonValue& response) {
+  const JsonValue::Object& object = response.as_object();
+  EXPECT_TRUE(object.at("ok").as_bool()) << to_json(response);
+  return object;
+}
+
+TEST(ServeOracle, OracleEngineMatchesDijkstraEngineBitwise) {
+  // Same scenario, both engines: the load reports which engine priced it
+  // and the k=6 placements (nodes AND objective) are identical.
+  Server classic;
+  ServerOptions oracle_options;
+  oracle_options.detours.engine = "alt";
+  Server oracled(oracle_options);
+
+  const JsonValue::Object& classic_load =
+      expect_ok(handle(classic, kLoadRequest));
+  const JsonValue::Object& oracle_load =
+      expect_ok(handle(oracled, kLoadRequest));
+  EXPECT_EQ(classic_load.at("engine").as_string(), "dijkstra");
+  EXPECT_EQ(oracle_load.at("engine").as_string(), "alt");
+
+  const std::string place = R"({"op":"place","k":6})";
+  const std::string classic_result =
+      to_json(expect_ok(handle(classic, place)).at("result"));
+  const std::string oracle_result =
+      to_json(expect_ok(handle(oracled, place)).at("result"));
+  EXPECT_EQ(classic_result, oracle_result);
+}
+
+TEST(ServeOracle, BidirectionalEngineMatchesToo) {
+  ServerOptions options;
+  options.detours.engine = "bidijkstra";
+  Server bidi(options);
+  Server classic;
+  expect_ok(handle(classic, kLoadRequest));
+  const JsonValue::Object& load = expect_ok(handle(bidi, kLoadRequest));
+  EXPECT_EQ(load.at("engine").as_string(), "bidijkstra");
+  const std::string place = R"({"op":"place","k":4})";
+  EXPECT_EQ(to_json(expect_ok(handle(classic, place)).at("result")),
+            to_json(expect_ok(handle(bidi, place)).at("result")));
+}
+
+TEST(ServeOracle, ForcedDenseOverNodeLimitIsResourceLimit) {
+  ServerOptions options;
+  options.detours.engine = "dense";
+  options.detours.oracle.matrix_node_limit = 16;  // grid city has 225 nodes
+  Server server(options);
+  const JsonValue response = handle(server, kLoadRequest);
+  const JsonValue::Object& object = response.as_object();
+  ASSERT_FALSE(object.at("ok").as_bool());
+  EXPECT_EQ(object.at("error").as_object().at("code").as_string(),
+            "resource_limit");
+  // The server stays healthy: the same scenario loads on a sparse engine.
+  ServerOptions sparse;
+  sparse.detours.engine = "alt";
+  Server recovered(sparse);
+  expect_ok(handle(recovered, kLoadRequest));
+}
+
+TEST(ServeOracle, ConcurrentSessionsShareOneOracleScenario) {
+  // Many sessions on one shared oracle-engined scenario, placing and
+  // evaluating concurrently: thread-local oracle scratch plus the mutexed
+  // distance cache must keep every answer identical to the reference.
+  ScenarioSpec spec;
+  spec.city = "grid";
+  spec.seed = 3;
+  spec.journeys = 40;
+  spec.range = 1'500.0;
+  traffic::DetourEnginePolicy policy;
+  policy.engine = "alt";
+  const auto scenario = build_scenario(spec, scenario_key(spec), policy);
+  ASSERT_EQ(scenario->detour_engine, "alt");
+  ASSERT_NE(scenario->oracle, nullptr);
+
+  Session reference(scenario);
+  const WarmStartResult want = reference.place(5, {});
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 8;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&scenario, &want, &failures, t] {
+      Session session(scenario);
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const WarmStartResult got = session.place(5, {});
+        if (got.placement.nodes != want.placement.nodes ||
+            got.placement.customers != want.placement.customers) {
+          failures[t] = "thread " + std::to_string(t) + " round " +
+                        std::to_string(round) + " diverged";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::string& failure : failures) {
+    EXPECT_TRUE(failure.empty()) << failure;
+  }
+}
+
+TEST(ServeOracle, OracleScenarioSummaryAnnouncesTheEngine) {
+  ScenarioSpec spec;
+  spec.city = "grid";
+  spec.seed = 1;
+  spec.journeys = 20;
+  traffic::DetourEnginePolicy policy;
+  policy.engine = "alt";
+  const auto oracled = build_scenario(spec, scenario_key(spec), policy);
+  EXPECT_NE(oracled->summary.find("detours alt"), std::string::npos);
+  // The default engine keeps the historical summary untouched.
+  const auto classic = build_scenario(spec, scenario_key(spec));
+  EXPECT_EQ(classic->summary.find("detours"), std::string::npos);
+  EXPECT_EQ(classic->detour_engine, "dijkstra");
+}
+
+}  // namespace
+}  // namespace rap::serve

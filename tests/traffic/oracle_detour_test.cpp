@@ -1,0 +1,195 @@
+// Oracle-backed detour engine: bitwise parity with ApspDetourCalculator in
+// both detour modes, deterministic parallel warm(), cache accounting, and
+// the shared DetourEnginePolicy factory behind rap_cli / rap_serve / the
+// serve scenario builder.
+#include "src/traffic/oracle_detour.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/graph/apsp.h"
+#include "src/obs/telemetry.h"
+#include "src/traffic/apsp_detour.h"
+#include "src/util/thread_pool.h"
+#include "tests/testing/builders.h"
+
+namespace rap::traffic {
+namespace {
+
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(util::parallel_config()) {}
+  ~ConfigGuard() { util::set_parallel_config(saved_); }
+
+ private:
+  util::ParallelConfig saved_;
+};
+
+struct Fixture {
+  graph::RoadNetwork net;
+  std::vector<TrafficFlow> flows;
+  graph::NodeId shop = 0;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  util::Rng rng(seed);
+  Fixture f;
+  f.net = testing::random_network(5, 4, 6, rng);
+  f.flows = testing::random_flows(f.net, 12, rng);
+  f.shop = static_cast<graph::NodeId>(rng.next_below(f.net.num_nodes()));
+  return f;
+}
+
+TEST(OracleDetour, BitwiseMatchesApspBothModes) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Fixture f = make_fixture(seed);
+    const graph::DistanceMatrix matrix =
+        graph::all_pairs_shortest_paths(f.net);
+    const auto oracle = std::make_shared<graph::AltOracle>(
+        f.net, graph::AltParams{4, seed});
+    for (const DetourMode mode :
+         {DetourMode::kAlongPath, DetourMode::kShortestPath}) {
+      const ApspDetourCalculator reference(f.net, matrix, f.shop, mode);
+      const OracleDetourCalculator engine(
+          f.net, oracle, f.shop, mode,
+          std::make_shared<graph::SparseDistanceCache>());
+      for (const TrafficFlow& flow : f.flows) {
+        const std::vector<double> want = reference.detours_along_path(flow);
+        const std::vector<double> got = engine.detours_along_path(flow);
+        ASSERT_EQ(want.size(), got.size());
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          ASSERT_EQ(want[i], got[i]) << "seed " << seed << " node " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(OracleDetour, WarmMakesSubsequentPricingAllHits) {
+  const Fixture f = make_fixture(3);
+  const auto cache = std::make_shared<graph::SparseDistanceCache>();
+  const OracleDetourCalculator engine(
+      f.net, std::make_shared<graph::BidirectionalOracle>(f.net), f.shop,
+      DetourMode::kAlongPath, cache);
+  engine.warm(f.flows);
+  const graph::SparseDistanceCache::Stats after_warm = cache->stats();
+  EXPECT_GT(after_warm.insertions, 0u);
+  EXPECT_EQ(after_warm.hits, 0u);  // warm prices each distinct pair once
+  for (const TrafficFlow& flow : f.flows) {
+    (void)engine.detours_along_path(flow);
+  }
+  const graph::SparseDistanceCache::Stats after_pricing = cache->stats();
+  EXPECT_EQ(after_pricing.misses, after_warm.misses);  // no new misses
+  EXPECT_GT(after_pricing.hits, 0u);
+}
+
+TEST(OracleDetour, WarmIsThreadCountInvariant) {
+  // Same values AND same hit/miss accounting for 1 vs 4 workers: each
+  // distinct pair is priced exactly once regardless of the chunking.
+  graph::SparseDistanceCache::Stats stats[2];
+  std::vector<std::vector<double>> detours[2];
+  for (int leg = 0; leg < 2; ++leg) {
+    const ConfigGuard guard;
+    util::set_parallel_config({leg == 0 ? std::size_t{1} : std::size_t{4}});
+    const Fixture f = make_fixture(5);
+    const auto cache = std::make_shared<graph::SparseDistanceCache>();
+    const OracleDetourCalculator engine(
+        f.net, std::make_shared<graph::AltOracle>(f.net), f.shop,
+        DetourMode::kAlongPath, cache);
+    engine.warm(f.flows);
+    stats[leg] = cache->stats();
+    for (const TrafficFlow& flow : f.flows) {
+      detours[leg].push_back(engine.detours_along_path(flow));
+    }
+  }
+  EXPECT_EQ(stats[0].insertions, stats[1].insertions);
+  EXPECT_EQ(stats[0].misses, stats[1].misses);
+  EXPECT_EQ(detours[0], detours[1]);
+}
+
+TEST(OracleDetour, WarmEmitsPairMetrics) {
+  const Fixture f = make_fixture(7);
+  obs::Telemetry telemetry;
+  const auto cache = std::make_shared<graph::SparseDistanceCache>();
+  const OracleDetourCalculator engine(
+      f.net, std::make_shared<graph::AltOracle>(f.net), f.shop,
+      DetourMode::kAlongPath, cache);
+  {
+    const obs::TelemetryScope scope(telemetry);
+    engine.warm(f.flows);
+  }
+  EXPECT_EQ(telemetry.metrics.counter("graph.oracle.warm.pairs").value(),
+            cache->stats().insertions);
+}
+
+TEST(OracleDetour, NullOracleIsRejected) {
+  const Fixture f = make_fixture(1);
+  EXPECT_THROW(OracleDetourCalculator(f.net, nullptr, f.shop),
+               std::invalid_argument);
+}
+
+TEST(DetourEnginePolicy, AutoResolvesByNodeCount) {
+  DetourEnginePolicy policy;
+  policy.dijkstra_node_limit = 100;
+  EXPECT_EQ(resolve_detour_engine(policy, 100), "dijkstra");
+  EXPECT_EQ(resolve_detour_engine(policy, 101), "alt");
+  policy.engine = "bidijkstra";
+  EXPECT_EQ(resolve_detour_engine(policy, 5), "bidijkstra");
+  policy.engine = "warp";
+  EXPECT_THROW((void)resolve_detour_engine(policy, 5), std::invalid_argument);
+}
+
+TEST(DetourEnginePolicy, FactoryBuildsDijkstraWithoutOracleState) {
+  const Fixture f = make_fixture(2);
+  DetourEnginePolicy policy;  // auto; the toy city stays under the limit
+  const DetourEngine built =
+      make_detour_engine(f.net, f.shop, f.flows, policy);
+  EXPECT_EQ(built.engine, "dijkstra");
+  ASSERT_NE(built.detours, nullptr);
+  EXPECT_EQ(built.oracle, nullptr);
+  EXPECT_EQ(built.cache, nullptr);
+}
+
+TEST(DetourEnginePolicy, FactoryBuildsWarmedOracleEngine) {
+  const Fixture f = make_fixture(2);
+  DetourEnginePolicy policy;
+  policy.engine = "alt";
+  policy.oracle.landmarks = 3;
+  const DetourEngine built =
+      make_detour_engine(f.net, f.shop, f.flows, policy);
+  EXPECT_EQ(built.engine, "alt");
+  ASSERT_NE(built.oracle, nullptr);
+  EXPECT_EQ(built.oracle->name(), "alt");
+  ASSERT_NE(built.cache, nullptr);
+  EXPECT_GT(built.cache->stats().insertions, 0u);  // pre-warmed
+  // And the engine it produced prices bitwise like the dense reference.
+  const graph::DistanceMatrix matrix = graph::all_pairs_shortest_paths(f.net);
+  const ApspDetourCalculator reference(f.net, matrix, f.shop);
+  for (const TrafficFlow& flow : f.flows) {
+    EXPECT_EQ(reference.detours_along_path(flow),
+              built.detours->detours_along_path(flow));
+  }
+}
+
+TEST(DetourEnginePolicy, ZeroCacheEntriesDisablesTheCache) {
+  const Fixture f = make_fixture(4);
+  DetourEnginePolicy policy;
+  policy.engine = "bidijkstra";
+  policy.cache_entries = 0;
+  const DetourEngine built =
+      make_detour_engine(f.net, f.shop, f.flows, policy);
+  EXPECT_EQ(built.cache, nullptr);  // uncached: every query hits the oracle
+  ASSERT_NE(built.detours, nullptr);
+  const graph::DistanceMatrix matrix = graph::all_pairs_shortest_paths(f.net);
+  const ApspDetourCalculator reference(f.net, matrix, f.shop);
+  for (const TrafficFlow& flow : f.flows) {
+    EXPECT_EQ(reference.detours_along_path(flow),
+              built.detours->detours_along_path(flow));
+  }
+}
+
+}  // namespace
+}  // namespace rap::traffic

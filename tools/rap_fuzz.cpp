@@ -4,12 +4,16 @@
 //   rap_fuzz --family=delta --scenarios=200 --seed=1
 //
 // Families:
-//   core  — run_differential_checks over consecutive seeds: algorithm
-//           cross-checks, oracle comparisons, audit invariants (default);
-//   delta — serve-layer incremental updates: replay random delta sequences
-//           through a serve session and require the warm-start placement to
-//           match a from-scratch lazy greedy bit-for-bit;
-//   all   — both.
+//   core   — run_differential_checks over consecutive seeds: algorithm
+//            cross-checks, oracle comparisons, audit invariants (default);
+//   delta  — serve-layer incremental updates: replay random delta sequences
+//            through a serve session and require the warm-start placement to
+//            match a from-scratch lazy greedy bit-for-bit;
+//   oracle — distance-oracle backends (bidirectional Dijkstra, ALT) against
+//            the dense APSP matrix: distances, detours and placements must
+//            be bitwise identical, serial and parallel, cached and uncached
+//            (DESIGN.md §13);
+//   all    — every family.
 //
 // On a core failure, prints every violated check and writes the scenario's
 // JSON reproducer ("rap.fuzz.scenario.v1") to `dump-dir` (when given) as
@@ -25,6 +29,7 @@
 #include <string>
 
 #include "src/check/differential.h"
+#include "src/check/oracle_fuzz.h"
 #include "src/serve/delta_fuzz.h"
 #include "src/util/cli.h"
 
@@ -93,6 +98,41 @@ std::uint64_t run_delta_family(std::uint64_t first_seed,
   return failures;
 }
 
+std::uint64_t run_oracle_family(std::uint64_t first_seed,
+                                std::uint64_t scenarios,
+                                const std::string& dump_dir) {
+  std::uint64_t failures = 0;
+  std::size_t checks = 0;
+  for (std::uint64_t i = 0; i < scenarios; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const rap::check::OracleFuzzReport report =
+        rap::check::fuzz_oracle_one(seed);
+    checks += report.checks_run;
+    if (report.ok()) continue;
+    ++failures;
+    std::cerr << "FAIL oracle seed " << seed << " ("
+              << report.failures.size() << " check(s)):\n";
+    for (const rap::check::DiffFailure& failure : report.failures) {
+      std::cerr << "  " << failure.check << ": " << failure.detail << "\n";
+    }
+    if (!dump_dir.empty()) {
+      const std::filesystem::path path =
+          std::filesystem::path(dump_dir) /
+          ("fuzz_oracle_seed_" + std::to_string(seed) + ".json");
+      std::filesystem::create_directories(path.parent_path());
+      std::ofstream out(path);
+      out << report.reproducer_json;
+      std::cerr << "  reproducer: " << path.string() << "\n";
+    } else {
+      std::cerr << "  reproducer (pass --dump-dir to write to a file):\n"
+                << report.reproducer_json;
+    }
+  }
+  std::cout << "rap_fuzz: oracle: " << scenarios << " scenario(s), " << checks
+            << " check(s), " << failures << " failing scenario(s)\n";
+  return failures;
+}
+
 int run(int argc, char** argv) {
   const rap::util::CliFlags flags(argc, argv);
   const auto scenarios =
@@ -107,9 +147,10 @@ int run(int argc, char** argv) {
     std::cerr << "rap_fuzz: unknown flag --" << unknown << "\n";
     return 2;
   }
-  if (family != "core" && family != "delta" && family != "all") {
+  if (family != "core" && family != "delta" && family != "oracle" &&
+      family != "all") {
     std::cerr << "rap_fuzz: unknown --family '" << family
-              << "' (core|delta|all)\n";
+              << "' (core|delta|oracle|all)\n";
     return 2;
   }
 
@@ -119,6 +160,9 @@ int run(int argc, char** argv) {
   }
   if (family == "delta" || family == "all") {
     failures += run_delta_family(first_seed, scenarios);
+  }
+  if (family == "oracle" || family == "all") {
+    failures += run_oracle_family(first_seed, scenarios, dump_dir);
   }
   return failures == 0 ? 0 : 1;
 }

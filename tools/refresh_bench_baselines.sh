@@ -13,7 +13,7 @@ repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 build="${1:-"$repo/build"}"
 
 cmake --build "$build" -j --target \
-  serve_throughput parallel_speedup audit_overhead bench_compare
+  serve_throughput parallel_speedup audit_overhead scale bench_compare
 
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
@@ -21,6 +21,9 @@ trap 'rm -rf "$scratch"' EXIT
 "$build/bench/serve_throughput"  --out="$scratch/BENCH_serve.json"
 "$build/bench/audit_overhead"    --out="$scratch/BENCH_audit.json"
 "$build/bench/parallel_speedup"  --out="$scratch/BENCH_parallel.json"
+# The metro-scale run (~10^5 nodes, 10^5 flows) takes a few minutes of
+# point-to-point oracle warm; budget accordingly.
+"$build/bench/scale"             --out="$scratch/BENCH_scale.json"
 
 "$build/tools/bench_compare/bench_compare" \
   --baseline="$repo/bench/baselines" --current="$scratch" --update
