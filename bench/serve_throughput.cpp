@@ -11,16 +11,37 @@
 // tools/bench_compare can gate regressions against bench/baselines/.
 // The acceptance bar: cached place >= 5x cold.
 //
+// With --net-out the networked regimes run too and land in a second
+// document (BENCH_serve_net.json):
+//   * net.single      — one socket client, requests/second + p50/p99;
+//   * net.concurrent  — N clients (--clients) hammering one listener
+//                       concurrently; aggregate throughput must hold the
+//                       single-client baseline (concurrent_over_single
+//                       gates >= 1x within tolerance on multi-core hosts);
+//   * store.*         — kill-and-restart against --store-dir segments:
+//                       every scenario rehydrates (strict count) and
+//                       re-loading them costs zero rebuilds (strict zero).
+//
 //   serve_throughput [--out=BENCH_serve.json] [--iters=5] [--k=8]
+//                    [--net-out=BENCH_serve_net.json] [--clients=4]
+//                    [--net-requests=40]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench/common.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
+#include "src/serve/transport.h"
 #include "src/util/cli.h"
 
 namespace {
@@ -58,6 +79,188 @@ double time_best_ms(std::size_t iters, Fn&& fn) {
   return best;
 }
 
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+std::string expect_ok(serve::UnixClient& client, const std::string& line) {
+  std::string response = client.request(line);
+  const serve::JsonValue parsed = serve::parse_json(response);
+  if (!parsed.as_object().at("ok").as_bool()) {
+    throw std::runtime_error("request failed: " + response);
+  }
+  return response;
+}
+
+/// One socket client: load once, then `requests` timed places/evaluates.
+/// Appends per-request latencies to `latencies_ms`.
+void run_client(const std::string& socket, const std::string& load_line,
+                std::size_t requests, std::size_t k,
+                std::vector<double>& latencies_ms) {
+  serve::UnixClient client(socket);
+  (void)expect_ok(client, load_line);
+  latencies_ms.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::string line =
+        i % 2 == 0 ? R"({"op":"place","k":)" + std::to_string(1 + i % k) + "}"
+                   : R"({"op":"evaluate","nodes":[0]})";
+    const auto start = std::chrono::steady_clock::now();
+    (void)expect_ok(client, line);
+    const auto stop = std::chrono::steady_clock::now();
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+}
+
+/// The networked + persistence regimes; writes its own rap.bench.v1 doc.
+void run_net_bench(const std::string& out, std::size_t clients,
+                   std::size_t requests, std::size_t k) {
+  const std::string socket =
+      "/tmp/rap_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  const std::string store_dir =
+      std::filesystem::temp_directory_path() /
+      ("rap_bench_store_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(store_dir);
+  const std::string load_line =
+      R"({"op":"load","city":"grid","seed":1,"journeys":60,"d":2500})";
+
+  std::vector<bench::BenchMetric> metrics;
+
+  // --- single-client baseline over the socket ---------------------------
+  double single_req_s = 0.0;
+  {
+    serve::Server server;
+    serve::UnixListener listener(socket);
+    std::thread serving([&] { (void)listener.serve(server); });
+    {
+      std::vector<double> latencies;
+      const auto start = std::chrono::steady_clock::now();
+      run_client(socket, load_line, requests, k, latencies);
+      const auto stop = std::chrono::steady_clock::now();
+      const double wall_s =
+          std::chrono::duration<double>(stop - start).count();
+      single_req_s =
+          wall_s > 0.0 ? static_cast<double>(requests) / wall_s : 0.0;
+    }
+    listener.stop();
+    serving.join();
+  }
+  metrics.push_back({"net.single.req_s", single_req_s, "req_s", false});
+
+  // --- N concurrent clients ---------------------------------------------
+  double concurrent_req_s = 0.0;
+  std::vector<double> all_latencies;
+  {
+    serve::Server server;
+    serve::UnixListener listener(socket);
+    std::thread serving([&] { (void)listener.serve(server); });
+    {
+      std::vector<std::vector<double>> latencies(clients);
+      std::vector<std::thread> threads;
+      std::atomic<bool> failed{false};
+      threads.reserve(clients);
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+          try {
+            run_client(socket, load_line, requests, k, latencies[c]);
+          } catch (const std::exception&) {
+            failed.store(true);
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      const auto stop = std::chrono::steady_clock::now();
+      if (failed.load()) throw std::runtime_error("a bench client failed");
+      const double wall_s =
+          std::chrono::duration<double>(stop - start).count();
+      concurrent_req_s =
+          wall_s > 0.0
+              ? static_cast<double>(clients * requests) / wall_s
+              : 0.0;
+      for (std::vector<double>& client_latencies : latencies) {
+        all_latencies.insert(all_latencies.end(), client_latencies.begin(),
+                             client_latencies.end());
+      }
+    }
+    listener.stop();
+    serving.join();
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  metrics.push_back({"net.concurrent.req_s", concurrent_req_s, "req_s",
+                     false});
+  metrics.push_back(
+      {"net.concurrent.p50_ms", percentile(all_latencies, 50.0), "ms", true});
+  metrics.push_back(
+      {"net.concurrent.p99_ms", percentile(all_latencies, 99.0), "ms", true});
+  metrics.push_back({"net.clients", static_cast<double>(clients), "count",
+                     false});
+  // The tentpole bar: N clients together must sustain at least the
+  // single-client rate (tolerance applies; ~1x on a single-core host,
+  // above it with real cores).
+  metrics.push_back({"concurrent_over_single_throughput",
+                     single_req_s > 0.0 ? concurrent_req_s / single_req_s
+                                        : 0.0,
+                     "x", false});
+
+  // --- kill-and-restart rehydration -------------------------------------
+  constexpr std::size_t kStoredScenarios = 3;
+  {
+    serve::ServerOptions options;
+    options.store_dir = store_dir;
+    serve::Server server(options);
+    for (std::size_t seed = 1; seed <= kStoredScenarios; ++seed) {
+      (void)expect_ok(
+          server, R"({"op":"load","city":"grid","seed":)" +
+                      std::to_string(seed) + R"(,"journeys":60,"d":2500})");
+    }
+  }  // the only survivors are the segment files
+  {
+    serve::ServerOptions options;
+    options.store_dir = store_dir;
+    const auto start = std::chrono::steady_clock::now();
+    serve::Server restarted(options);
+    const auto stop = std::chrono::steady_clock::now();
+    for (std::size_t seed = 1; seed <= kStoredScenarios; ++seed) {
+      (void)expect_ok(
+          restarted, R"({"op":"load","city":"grid","seed":)" +
+                         std::to_string(seed) + R"(,"journeys":60,"d":2500})");
+    }
+    const std::string stats = expect_ok(restarted, R"({"op":"stats"})");
+    const double rebuilds = serve::parse_json(stats)
+                                .as_object()
+                                .at("server")
+                                .as_object()
+                                .at("scenario_builds")
+                                .as_number();
+    metrics.push_back({"store.rehydrated",
+                       static_cast<double>(restarted.rehydrated_at_start()),
+                       "count", false});
+    metrics.push_back({"store.rebuilds_after_restart", rebuilds, "count",
+                       true});
+    metrics.push_back(
+        {"store.rehydrate_ms",
+         std::chrono::duration<double, std::milli>(stop - start).count(),
+         "ms", true});
+  }
+  std::filesystem::remove_all(store_dir);
+
+  bench::write_bench_json(out, "serve_net",
+                          {{"city", "grid"},
+                           {"clients", std::to_string(clients)},
+                           {"requests", std::to_string(requests)},
+                           {"k", std::to_string(k)}},
+                          metrics);
+  for (const bench::BenchMetric& metric : metrics) {
+    std::cout << metric.name << ": " << metric.value << " " << metric.unit
+              << "\n";
+  }
+  std::cout << "wrote " << out << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -66,6 +269,11 @@ int main(int argc, char** argv) {
     const std::string out = flags.get_string("out", "BENCH_serve.json");
     const auto iters = static_cast<std::size_t>(flags.get_int("iters", 5));
     const auto k = static_cast<std::size_t>(flags.get_int("k", 8));
+    const std::string net_out = flags.get_string("net-out", "");
+    const auto clients =
+        static_cast<std::size_t>(flags.get_int("clients", 4));
+    const auto net_requests =
+        static_cast<std::size_t>(flags.get_int("net-requests", 40));
 
     const std::string load_line =
         R"({"op":"load","city":"seattle","seed":7,"journeys":100,"d":2500})";
@@ -124,6 +332,9 @@ int main(int argc, char** argv) {
     }
     std::cout << "cached place is " << speedup << "x cold; wrote " << out
               << "\n";
+    if (!net_out.empty()) {
+      run_net_bench(net_out, clients, net_requests, k);
+    }
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "serve_throughput: " << error.what() << "\n";

@@ -84,7 +84,27 @@ class Parser {
     }
   }
 
+  /// Bumps the container depth for one object/array frame; parse depth is
+  /// bounded by kMaxJsonDepth so adversarial nesting cannot exhaust the
+  /// call stack.
+  class DepthFrame {
+   public:
+    explicit DepthFrame(Parser& parser) : parser_(parser) {
+      if (++parser_.depth_ > kMaxJsonDepth) {
+        parser_.fail("nesting deeper than " + std::to_string(kMaxJsonDepth) +
+                     " levels");
+      }
+    }
+    ~DepthFrame() { --parser_.depth_; }
+    DepthFrame(const DepthFrame&) = delete;
+    DepthFrame& operator=(const DepthFrame&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   JsonValue parse_object() {
+    const DepthFrame frame(*this);
     expect('{');
     JsonValue::Object object;
     skip_whitespace();
@@ -113,6 +133,7 @@ class Parser {
   }
 
   JsonValue parse_array() {
+    const DepthFrame frame(*this);
     expect('[');
     JsonValue::Array array;
     skip_whitespace();
@@ -225,6 +246,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void append_json(const JsonValue& value, std::string& out);

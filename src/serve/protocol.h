@@ -32,6 +32,12 @@ namespace rap::serve {
 /// Schema tag stamped on every response line.
 inline constexpr const char* kServeSchema = "rap.serve.v1";
 
+/// Maximum container nesting the parser accepts. The grammar is at most a
+/// few levels deep; the cap exists so a hostile `[[[[...` line a few
+/// thousand brackets long becomes a parse error (-> bad_request) instead of
+/// a stack overflow in the recursive-descent parser.
+inline constexpr int kMaxJsonDepth = 96;
+
 /// A parsed JSON document. Numbers are doubles (the grammar never needs
 /// integers beyond 2^53); object keys sort lexicographically.
 class JsonValue {

@@ -1,0 +1,94 @@
+// Request scheduler: per-client session slots for the concurrent server.
+//
+// The stdio loop of PR 5 had exactly one session and one big lock. The
+// scheduler generalizes that to N clients: every transport connection (and
+// the stdio loop itself, as kStdioClient) owns a ClientSlot holding its
+// Session plus a per-slot mutex. Requests of ONE client are serialized in
+// arrival order — sessions are stateful, and the rap.serve.v1 contract
+// promises responses in request order per connection — while requests of
+// DISTINCT clients run concurrently: the slot lock is all a placement
+// holds, so two clients can price, delta and place at the same time.
+//
+// What makes that safe is the read-mostly scenario discipline
+// (src/serve/scenario_cache.h): built scenarios are pinned behind
+// shared_ptr<const ServeScenario> and never mutated, sessions copy-on-write
+// their private flow state, and every shared engine a session touches
+// (RoadNetwork adjacency, DetourCalculator trees, oracle + sparse cache) is
+// documented safe for concurrent const access. Cross-client shared state —
+// the scenario cache, the server's stats — is the Server's problem and is
+// guarded by its own short-lived locks, never held across a placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/serve/session.h"
+
+namespace rap::serve {
+
+/// Identifies one client (= one transport connection, or the stdio loop).
+using ClientId = std::uint64_t;
+
+/// The stdio loop's pre-registered client. Server::handle_line(line)
+/// forwards here, so single-client callers never see client ids.
+inline constexpr ClientId kStdioClient = 0;
+
+class SessionScheduler {
+ public:
+  /// Constructs with kStdioClient already open.
+  SessionScheduler();
+
+  /// Registers a new client slot (no session until its first load).
+  [[nodiscard]] ClientId open_client();
+
+  /// Drops a client and its session. Unknown ids are ignored; a concurrent
+  /// in-flight request on the slot finishes first (the slot is shared).
+  void close_client(ClientId id);
+
+  /// Open client count (kStdioClient included).
+  [[nodiscard]] std::size_t client_count() const;
+
+  /// Exclusive access to one client's session slot for the lifetime of the
+  /// guard. Obtained at dispatch time and held across the whole request, so
+  /// one client's requests are processed serially in arrival order.
+  class ClientLock {
+   public:
+    /// False when the client id was never opened (or already closed).
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return slot_ != nullptr;
+    }
+    /// The client's session; nullptr before its first successful load.
+    [[nodiscard]] Session* session() const noexcept {
+      return slot_ == nullptr ? nullptr : slot_->session.get();
+    }
+    void set_session(std::unique_ptr<Session> session) {
+      slot_->session = std::move(session);
+    }
+
+   private:
+    friend class SessionScheduler;
+    struct Slot {
+      std::mutex mutex;
+      std::unique_ptr<Session> session;
+    };
+    ClientLock() = default;
+    explicit ClientLock(std::shared_ptr<Slot> slot)
+        : slot_(std::move(slot)), lock_(slot_->mutex) {}
+
+    std::shared_ptr<Slot> slot_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Locks `id`'s slot (blocking behind any in-flight request of the same
+  /// client). The returned lock is falsy for unknown ids.
+  [[nodiscard]] ClientLock lock_client(ClientId id);
+
+ private:
+  mutable std::mutex mutex_;  // guards the registry, never held across requests
+  std::unordered_map<ClientId, std::shared_ptr<ClientLock::Slot>> clients_;
+  ClientId next_id_ = kStdioClient + 1;
+};
+
+}  // namespace rap::serve

@@ -1,6 +1,7 @@
 #include "src/serve/server.h"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <istream>
 #include <ostream>
@@ -19,6 +20,11 @@ namespace {
 // request takes exactly this long, which pins latencies, percentiles and
 // uptime to the request sequence alone.
 constexpr std::uint64_t kVirtualTickNs = 1'000'000;
+
+// Deadlines at or beyond this many milliseconds (~11.5 days) are treated as
+// "no deadline": far enough out to never fire, small enough that the
+// nanosecond arithmetic below cannot overflow std::int64_t.
+constexpr double kMaxDeadlineMs = 1e9;
 
 /// The request's verb for latency bucketing: a known op name, else "other"
 /// (unknown ops, missing/ill-typed op fields). Returns a static literal so
@@ -61,32 +67,59 @@ JsonValue error_response(const JsonValue* id, const std::string& code,
   return JsonValue(std::move(object));
 }
 
-/// Per-request deadline from the optional "deadline_ms" field.
+/// The one checked double -> integer conversion: every numeric field that
+/// ends up in an integer goes through here BEFORE any cast, because casting
+/// an out-of-range double to an integer type is undefined behaviour — a
+/// request carrying k=1e300 or seed=-2 must become a bad_request response,
+/// not UB. `min`/`max` are inclusive and must be exactly representable as
+/// doubles (everything up to 2^53). NaN fails the >= comparison.
+std::uint64_t parse_integer(double raw, const char* what, double min,
+                            double max) {
+  if (!(raw >= min) || !(raw <= max) || raw != std::floor(raw)) {
+    char bounds[64];
+    std::snprintf(bounds, sizeof bounds, " must be an integer in [%.0f, %.0f]",
+                  min, max);
+    throw RequestError("bad_request", std::string(what) + bounds);
+  }
+  return static_cast<std::uint64_t>(raw);
+}
+
+/// parse_integer over a required numeric field.
+std::uint64_t require_integer(const JsonValue::Object& request,
+                              const char* field, double min, double max) {
+  return parse_integer(require_number(request, field), field, min, max);
+}
+
+/// parse_integer over an optional numeric field with a default.
+std::uint64_t get_integer(const JsonValue::Object& request, const char* field,
+                          std::uint64_t fallback, double min, double max) {
+  return parse_integer(
+      get_number(request, field, static_cast<double>(fallback)), field, min,
+      max);
+}
+
+/// Per-request deadline from the optional "deadline_ms" field. Non-positive
+/// and NaN mean no deadline; huge values clamp to no-deadline instead of
+/// overflowing into the past (a client asking for ~forever should wait, not
+/// get an instant deadline_exceeded).
 Deadline parse_deadline(const JsonValue::Object& request) {
   const double ms = get_number(request, "deadline_ms", 0.0);
-  if (ms <= 0.0) return {};
+  if (!(ms > 0.0) || ms >= kMaxDeadlineMs) return {};
   return std::chrono::steady_clock::now() +
          std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0));
 }
 
 std::size_t parse_budget(const JsonValue::Object& request) {
-  const double k = require_number(request, "k");
-  if (k < 1.0 || k != static_cast<double>(static_cast<std::size_t>(k))) {
-    throw RequestError("bad_request", "k must be a positive integer");
-  }
-  return static_cast<std::size_t>(k);
+  return static_cast<std::size_t>(require_integer(request, "k", 1.0, 1e12));
 }
 
 graph::NodeId parse_node(const JsonValue& value, const char* what) {
   if (!value.is_number()) {
     throw RequestError("bad_request", std::string(what) + " must be a number");
   }
-  const double raw = value.as_number();
-  if (raw < 0.0 || raw != static_cast<double>(static_cast<graph::NodeId>(raw))) {
-    throw RequestError("bad_request",
-                       std::string(what) + " must be a non-negative node id");
-  }
-  return static_cast<graph::NodeId>(raw);
+  // Upper bound: the largest valid NodeId (kInvalidNode - 1).
+  return static_cast<graph::NodeId>(
+      parse_integer(value.as_number(), what, 0.0, 4294967294.0));
 }
 
 JsonValue placement_json(const WarmStartResult& result) {
@@ -134,12 +167,8 @@ DeltaOp parse_delta_op(const JsonValue& value, const graph::RoadNetwork& net) {
   } else if (kind == "remove_flow" || kind == "scale_flow") {
     op.kind = kind == "remove_flow" ? DeltaOp::Kind::kRemoveFlow
                                     : DeltaOp::Kind::kScaleFlow;
-    const double index = require_number(object, "index");
-    if (index < 0.0 ||
-        index != static_cast<double>(static_cast<std::size_t>(index))) {
-      throw RequestError("bad_request", "index must be a non-negative integer");
-    }
-    op.index = static_cast<std::size_t>(index);
+    op.index = static_cast<std::size_t>(
+        require_integer(object, "index", 0.0, 9e15));
     if (op.kind == DeltaOp::Kind::kScaleFlow) {
       op.factor = require_number(object, "factor");
     }
@@ -153,26 +182,39 @@ DeltaOp parse_delta_op(const JsonValue& value, const graph::RoadNetwork& net) {
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(options),
-      cache_(options.cache_bytes),
+    : options_(std::move(options)),
+      cache_(options_.cache_bytes),
       start_ns_(obs::EventClock::now_ns()),
       pool_baseline_(util::pool_counters()) {
-  cache_.set_event_log(options.log);
+  cache_.set_event_log(options_.log);
+  if (!options_.store_dir.empty()) {
+    store_ = std::make_unique<ScenarioStore>(options_.store_dir);
+    // Rehydration replaces the builds a warm cache would have absorbed: no
+    // generation, no matching, no Dijkstras — just mmap + incidence.
+    rehydrated_at_start_ = store_->rehydrate_into(cache_);
+    if (options_.log != nullptr && rehydrated_at_start_ > 0) {
+      options_.log->log(
+          obs::LogLevel::kInfo, "store.rehydrate",
+          {obs::log_num("scenarios",
+                        static_cast<double>(rehydrated_at_start_))});
+    }
+  }
 }
 
-Session& Server::session_or_throw() {
-  if (session_ == nullptr) {
+Session& Server::session_or_throw(ClientLock& client) {
+  if (client.session() == nullptr) {
     throw RequestError("no_session", "no scenario loaded; send a load request");
   }
-  return *session_;
+  return *client.session();
 }
 
-JsonValue Server::handle_load(const JsonValue::Object& request) {
+JsonValue Server::handle_load(ClientLock& client,
+                              const JsonValue::Object& request) {
   ScenarioSpec spec;
   spec.city = get_string(request, "city", "");
-  spec.seed = static_cast<std::uint64_t>(get_number(request, "seed", 1.0));
-  spec.journeys =
-      static_cast<std::size_t>(get_number(request, "journeys", 100.0));
+  spec.seed = get_integer(request, "seed", 1, 0.0, 9e15);
+  spec.journeys = static_cast<std::size_t>(
+      get_integer(request, "journeys", 100, 0.0, 1e9));
   spec.network_path = get_string(request, "network_path", "");
   spec.flows_path = get_string(request, "flows_path", "");
   spec.network_csv = get_string(request, "network_csv", "");
@@ -185,14 +227,39 @@ JsonValue Server::handle_load(const JsonValue::Object& request) {
   spec.shop_class = get_string(request, "shop_class", "city");
 
   std::shared_ptr<const ServeScenario> scenario;
-  bool cached = false;
+  const char* source = "built";
   try {
     const std::uint64_t key = scenario_key(spec);
-    scenario = cache_.lookup(key);
-    cached = scenario != nullptr;
-    if (!cached) {
+    {
+      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      scenario = cache_.lookup(key);
+    }
+    if (scenario != nullptr) {
+      source = "cache";
+    } else if (store_ != nullptr) {
+      // Disk beats rebuild: one mmap + incidence instead of generation,
+      // matching and Dijkstras. load() is internally synchronized.
+      scenario = store_->load(key);
+      if (scenario != nullptr) {
+        source = "store";
+        const std::lock_guard<std::mutex> lock(cache_mutex_);
+        cache_.insert(scenario);
+      }
+    }
+    if (scenario == nullptr) {
+      // Build outside every lock: concurrent clients racing on the same key
+      // both build, and the second insert refreshes the first — benign,
+      // content-keyed results are interchangeable.
       scenario = build_scenario(spec, key, options_.detours);
-      cache_.insert(scenario);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++scenario_builds_;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(cache_mutex_);
+        cache_.insert(scenario);
+      }
+      if (store_ != nullptr) (void)store_->put(*scenario);
     }
   } catch (const RequestError&) {
     throw;
@@ -204,12 +271,13 @@ JsonValue Server::handle_load(const JsonValue::Object& request) {
   } catch (const std::exception& error) {
     throw RequestError("bad_scenario", error.what());
   }
-  session_ = std::make_unique<Session>(scenario);
+  client.set_session(std::make_unique<Session>(scenario));
 
   JsonValue response = ok_base();
   JsonValue::Object& object = response.as_object();
   object.emplace("key", hex_key(scenario->key));
-  object.emplace("cached", cached);
+  object.emplace("cached", source == std::string_view("cache"));
+  object.emplace("source", source);
   object.emplace("engine", scenario->detour_engine);
   object.emplace("summary", scenario->summary);
   object.emplace("nodes", static_cast<double>(scenario->net.num_nodes()));
@@ -218,8 +286,9 @@ JsonValue Server::handle_load(const JsonValue::Object& request) {
   return response;
 }
 
-JsonValue Server::handle_place(const JsonValue::Object& request) {
-  Session& session = session_or_throw();
+JsonValue Server::handle_place(ClientLock& client,
+                               const JsonValue::Object& request) {
+  Session& session = session_or_throw(client);
   const std::size_t k = parse_budget(request);
   const WarmStartResult result = session.place(k, parse_deadline(request));
   if (result.fell_back && options_.log != nullptr) {
@@ -232,8 +301,9 @@ JsonValue Server::handle_place(const JsonValue::Object& request) {
   return response;
 }
 
-JsonValue Server::handle_place_batch(const JsonValue::Object& request) {
-  Session& session = session_or_throw();
+JsonValue Server::handle_place_batch(ClientLock& client,
+                                     const JsonValue::Object& request) {
+  Session& session = session_or_throw(client);
   const JsonValue* ks = find_field(request, "ks");
   if (ks == nullptr || !ks->is_array() || ks->as_array().empty()) {
     throw RequestError("bad_request", "ks must be a non-empty array");
@@ -241,10 +311,11 @@ JsonValue Server::handle_place_batch(const JsonValue::Object& request) {
   std::vector<std::size_t> budgets;
   budgets.reserve(ks->as_array().size());
   for (const JsonValue& k : ks->as_array()) {
-    if (!k.is_number() || k.as_number() < 1.0) {
+    if (!k.is_number()) {
       throw RequestError("bad_request", "ks entries must be positive integers");
     }
-    budgets.push_back(static_cast<std::size_t>(k.as_number()));
+    budgets.push_back(static_cast<std::size_t>(
+        parse_integer(k.as_number(), "ks entries", 1.0, 1e12)));
   }
   const Deadline deadline = parse_deadline(request);
   obs::observe("serve.batch.size", static_cast<double>(budgets.size()));
@@ -274,8 +345,12 @@ JsonValue Server::handle_place_batch(const JsonValue::Object& request) {
       },
       options_.threads);
   if (first_error != nullptr) std::rethrow_exception(first_error);
-  for (const obs::Telemetry& telemetry : chunk_telemetry) {
-    telemetry_.merge(telemetry);
+  // Merge into this request's ambient sink (installed by handle_line), NOT
+  // the server's telemetry_ — concurrent requests each own their sink.
+  if (obs::Telemetry* ambient = obs::ambient(); ambient != nullptr) {
+    for (const obs::Telemetry& telemetry : chunk_telemetry) {
+      ambient->merge(telemetry);
+    }
   }
 
   JsonValue response = ok_base();
@@ -290,8 +365,9 @@ JsonValue Server::handle_place_batch(const JsonValue::Object& request) {
   return response;
 }
 
-JsonValue Server::handle_evaluate(const JsonValue::Object& request) {
-  Session& session = session_or_throw();
+JsonValue Server::handle_evaluate(ClientLock& client,
+                                  const JsonValue::Object& request) {
+  Session& session = session_or_throw(client);
   const JsonValue* nodes = find_field(request, "nodes");
   if (nodes == nullptr || !nodes->is_array()) {
     throw RequestError("bad_request", "nodes must be an array");
@@ -306,8 +382,9 @@ JsonValue Server::handle_evaluate(const JsonValue::Object& request) {
   return response;
 }
 
-JsonValue Server::handle_delta(const JsonValue::Object& request) {
-  Session& session = session_or_throw();
+JsonValue Server::handle_delta(ClientLock& client,
+                               const JsonValue::Object& request) {
+  Session& session = session_or_throw(client);
   const JsonValue* ops = find_field(request, "ops");
   if (ops == nullptr || !ops->is_array() || ops->as_array().empty()) {
     throw RequestError("bad_request", "ops must be a non-empty array");
@@ -332,11 +409,17 @@ JsonValue Server::handle_delta(const JsonValue::Object& request) {
   return response;
 }
 
-JsonValue Server::handle_stats(const JsonValue::Object&) {
+JsonValue Server::handle_stats(ClientLock& client, const JsonValue::Object&) {
   JsonValue response = ok_base();
   JsonValue::Object& object = response.as_object();
 
-  const ScenarioCache::Stats& cache = cache_.stats();
+  ScenarioCache::Stats cache;
+  std::size_t cache_max_bytes = 0;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache = cache_.stats();
+    cache_max_bytes = cache_.max_bytes();
+  }
   JsonValue::Object cache_json;
   cache_json.emplace("hits", static_cast<double>(cache.hits));
   cache_json.emplace("misses", static_cast<double>(cache.misses));
@@ -348,17 +431,33 @@ JsonValue Server::handle_stats(const JsonValue::Object&) {
   cache_json.emplace("evictions", static_cast<double>(cache.evictions));
   cache_json.emplace("bytes", static_cast<double>(cache.bytes));
   cache_json.emplace("entries", static_cast<double>(cache.entries));
-  cache_json.emplace("max_bytes", static_cast<double>(cache_.max_bytes()));
+  cache_json.emplace("max_bytes", static_cast<double>(cache_max_bytes));
   object.emplace("cache", JsonValue(std::move(cache_json)));
 
+  JsonValue::Object store_json;
+  store_json.emplace("configured", store_ != nullptr);
+  if (store_ != nullptr) {
+    const ScenarioStore::Stats store = store_->stats();
+    store_json.emplace("persisted", static_cast<double>(store.persisted));
+    store_json.emplace("skipped", static_cast<double>(store.skipped));
+    store_json.emplace("rehydrated", static_cast<double>(store.rehydrated));
+    store_json.emplace("corrupt", static_cast<double>(store.corrupt));
+    store_json.emplace("io_errors", static_cast<double>(store.io_errors));
+    store_json.emplace("segments", static_cast<double>(store_->segment_count()));
+    store_json.emplace("rehydrated_at_start",
+                       static_cast<double>(rehydrated_at_start_));
+  }
+  object.emplace("store", JsonValue(std::move(store_json)));
+
+  // The requesting client's session — sessions are per-client now.
   JsonValue::Object session_json;
-  session_json.emplace("present", session_ != nullptr);
-  if (session_ != nullptr) {
-    const Session::Stats& stats = session_->stats();
-    session_json.emplace("key", hex_key(session_->scenario().key));
-    session_json.emplace("summary", session_->scenario().summary);
-    session_json.emplace("flows",
-                         static_cast<double>(session_->flows().size()));
+  Session* session = client.session();
+  session_json.emplace("present", session != nullptr);
+  if (session != nullptr) {
+    const Session::Stats& stats = session->stats();
+    session_json.emplace("key", hex_key(session->scenario().key));
+    session_json.emplace("summary", session->scenario().summary);
+    session_json.emplace("flows", static_cast<double>(session->flows().size()));
     session_json.emplace("places", static_cast<double>(stats.places));
     session_json.emplace("deltas", static_cast<double>(stats.deltas));
     session_json.emplace("warm_attempts",
@@ -371,8 +470,14 @@ JsonValue Server::handle_stats(const JsonValue::Object&) {
   object.emplace("session", JsonValue(std::move(session_json)));
 
   JsonValue::Object server_json;
-  server_json.emplace("requests", static_cast<double>(requests_));
-  server_json.emplace("errors", static_cast<double>(errors_));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    server_json.emplace("requests", static_cast<double>(requests_));
+    server_json.emplace("errors", static_cast<double>(errors_));
+    server_json.emplace("scenario_builds",
+                        static_cast<double>(scenario_builds_));
+  }
+  server_json.emplace("clients", static_cast<double>(client_count()));
   // Uptime in the EventClock domain: wall-clock normally, exactly one tick
   // per completed request under a VirtualClockGuard.
   server_json.emplace(
@@ -382,14 +487,17 @@ JsonValue Server::handle_stats(const JsonValue::Object&) {
 
   // Per-verb latency distributions; the sorted member map fixes field order.
   JsonValue::Object verbs_json;
-  for (const auto& [verb, hist] : verb_latency_) {
-    JsonValue::Object verb_json;
-    verb_json.emplace("count", static_cast<double>(hist.count()));
-    verb_json.emplace("mean_ms", hist.stats().mean());
-    verb_json.emplace("p50_ms", hist.percentile(50.0));
-    verb_json.emplace("p95_ms", hist.percentile(95.0));
-    verb_json.emplace("p99_ms", hist.percentile(99.0));
-    verbs_json.emplace(verb, JsonValue(std::move(verb_json)));
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const auto& [verb, hist] : verb_latency_) {
+      JsonValue::Object verb_json;
+      verb_json.emplace("count", static_cast<double>(hist.count()));
+      verb_json.emplace("mean_ms", hist.stats().mean());
+      verb_json.emplace("p50_ms", hist.percentile(50.0));
+      verb_json.emplace("p95_ms", hist.percentile(95.0));
+      verb_json.emplace("p99_ms", hist.percentile(99.0));
+      verbs_json.emplace(verb, JsonValue(std::move(verb_json)));
+    }
   }
   object.emplace("verbs", JsonValue(std::move(verbs_json)));
 
@@ -430,14 +538,15 @@ JsonValue Server::handle_stats(const JsonValue::Object&) {
   return response;
 }
 
-JsonValue Server::dispatch(const JsonValue::Object& request) {
+JsonValue Server::dispatch(ClientLock& client,
+                           const JsonValue::Object& request) {
   const std::string& op = require_string(request, "op");
-  if (op == "load") return handle_load(request);
-  if (op == "place") return handle_place(request);
-  if (op == "place_batch") return handle_place_batch(request);
-  if (op == "evaluate") return handle_evaluate(request);
-  if (op == "delta") return handle_delta(request);
-  if (op == "stats") return handle_stats(request);
+  if (op == "load") return handle_load(client, request);
+  if (op == "place") return handle_place(client, request);
+  if (op == "place_batch") return handle_place_batch(client, request);
+  if (op == "evaluate") return handle_evaluate(client, request);
+  if (op == "delta") return handle_delta(client, request);
+  if (op == "stats") return handle_stats(client, request);
   if (op == "shutdown") {
     shutdown_.store(true, std::memory_order_relaxed);
     return ok_base();
@@ -449,87 +558,116 @@ JsonValue Server::dispatch(const JsonValue::Object& request) {
 }
 
 std::string Server::handle_line(const std::string& line) {
+  return handle_line(kStdioClient, line);
+}
+
+std::string Server::handle_line(ClientId client_id, const std::string& line) {
   pending_.fetch_add(1, std::memory_order_relaxed);
   JsonValue response;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // Only this client's slot is held across the request: same-client
+    // requests serialize in arrival order, distinct clients run
+    // concurrently.
+    ClientLock client = scheduler_.lock_client(client_id);
     // Latency on the EventClock: wall-clock normally; under a
     // VirtualClockGuard the advance below makes every request exactly one
     // tick long, so histograms and stats snapshots depend only on the
     // request sequence.
     const std::uint64_t start_ns = obs::EventClock::now_ns();
-    const obs::TelemetryScope scope(telemetry_);
-    obs::set_gauge("serve.queue.depth",
-                   static_cast<double>(pending_.load(std::memory_order_relaxed)));
-    ++requests_;
-    obs::add_counter("serve.requests");
+    // Request-private sink, merged into the server's under stats_mutex_ at
+    // the end — concurrent requests never share ambient telemetry.
+    obs::Telemetry request_telemetry;
+    {
+      const obs::TelemetryScope scope(request_telemetry);
+      obs::set_gauge(
+          "serve.queue.depth",
+          static_cast<double>(pending_.load(std::memory_order_relaxed)));
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++requests_;
+      }
+      obs::add_counter("serve.requests");
 
-    const char* op_label = "other";
-    std::string error_code;
-    const JsonValue* id = nullptr;
-    JsonValue id_storage;
-    try {
-      JsonValue request = parse_json(line);
-      if (!request.is_object()) {
-        throw RequestError("bad_request", "request must be a JSON object");
+      const char* op_label = "other";
+      std::string error_code;
+      const JsonValue* id = nullptr;
+      JsonValue id_storage;
+      try {
+        if (!client) {
+          throw RequestError("no_session", "client is closed");
+        }
+        JsonValue request = parse_json(line);
+        if (!request.is_object()) {
+          throw RequestError("bad_request", "request must be a JSON object");
+        }
+        if (const JsonValue* found = find_field(request.as_object(), "id");
+            found != nullptr) {
+          id_storage = *found;
+          id = &id_storage;
+        }
+        op_label = known_op_label(request.as_object());
+        obs::record_instant("serve.request", "op", op_label);
+        if (options_.log != nullptr) {
+          options_.log->log(obs::LogLevel::kDebug, "request.start",
+                            {obs::log_str("op", op_label)});
+        }
+        response = dispatch(client, request.as_object());
+        if (id != nullptr) response.as_object().emplace("id", *id);
+      } catch (const RequestError& error) {
+        error_code = error.code();
+        response = error_response(id, error.code(), error.what());
+      } catch (const DeadlineExceeded& error) {
+        error_code = "deadline_exceeded";
+        response = error_response(id, error_code, error.what());
+      } catch (const std::invalid_argument& error) {
+        error_code = "bad_request";
+        response = error_response(id, error_code, error.what());
+      } catch (const std::out_of_range& error) {
+        error_code = "bad_request";
+        response = error_response(id, error_code, error.what());
+      } catch (const std::exception& error) {
+        error_code = "internal";
+        response = error_response(id, error_code, error.what());
       }
-      if (const JsonValue* found = find_field(request.as_object(), "id");
-          found != nullptr) {
-        id_storage = *found;
-        id = &id_storage;
+      const bool ok = error_code.empty();
+      if (!ok) {
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++errors_;
+        }
+        obs::add_counter("serve.errors");
+        if (options_.log != nullptr) {
+          options_.log->log(obs::LogLevel::kError, "request.error",
+                            {obs::log_str("op", op_label),
+                             obs::log_str("code", error_code)});
+        }
       }
-      op_label = known_op_label(request.as_object());
-      obs::record_instant("serve.request", "op", op_label);
+
+      obs::EventClock::advance_virtual(kVirtualTickNs);
+      const double elapsed_ms =
+          static_cast<double>(obs::EventClock::now_ns() - start_ns) / 1e6;
+      obs::observe("serve.request_ms", elapsed_ms);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const auto verb_it = verb_latency_.find(op_label);
+        obs::Histogram& verb_hist =
+            verb_it != verb_latency_.end()
+                ? verb_it->second
+                : verb_latency_
+                      .emplace(op_label, obs::Histogram(std::vector<double>{}))
+                      .first->second;
+        verb_hist.observe(elapsed_ms);
+      }
       if (options_.log != nullptr) {
-        options_.log->log(obs::LogLevel::kDebug, "request.start",
-                          {obs::log_str("op", op_label)});
-      }
-      response = dispatch(request.as_object());
-      if (id != nullptr) response.as_object().emplace("id", *id);
-    } catch (const RequestError& error) {
-      error_code = error.code();
-      response = error_response(id, error.code(), error.what());
-    } catch (const DeadlineExceeded& error) {
-      error_code = "deadline_exceeded";
-      response = error_response(id, error_code, error.what());
-    } catch (const std::invalid_argument& error) {
-      error_code = "bad_request";
-      response = error_response(id, error_code, error.what());
-    } catch (const std::out_of_range& error) {
-      error_code = "bad_request";
-      response = error_response(id, error_code, error.what());
-    } catch (const std::exception& error) {
-      error_code = "internal";
-      response = error_response(id, error_code, error.what());
-    }
-    const bool ok = error_code.empty();
-    if (!ok) {
-      ++errors_;
-      obs::add_counter("serve.errors");
-      if (options_.log != nullptr) {
-        options_.log->log(obs::LogLevel::kError, "request.error",
+        options_.log->log(obs::LogLevel::kInfo, "request.finish",
                           {obs::log_str("op", op_label),
-                           obs::log_str("code", error_code)});
+                           obs::log_num("ms", elapsed_ms),
+                           obs::log_bool("ok", ok)});
       }
     }
-
-    obs::EventClock::advance_virtual(kVirtualTickNs);
-    const double elapsed_ms =
-        static_cast<double>(obs::EventClock::now_ns() - start_ns) / 1e6;
-    obs::observe("serve.request_ms", elapsed_ms);
-    const auto verb_it = verb_latency_.find(op_label);
-    obs::Histogram& verb_hist =
-        verb_it != verb_latency_.end()
-            ? verb_it->second
-            : verb_latency_
-                  .emplace(op_label, obs::Histogram(std::vector<double>{}))
-                  .first->second;
-    verb_hist.observe(elapsed_ms);
-    if (options_.log != nullptr) {
-      options_.log->log(obs::LogLevel::kInfo, "request.finish",
-                        {obs::log_str("op", op_label),
-                         obs::log_num("ms", elapsed_ms),
-                         obs::log_bool("ok", ok)});
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      telemetry_.merge(request_telemetry);
     }
   }
   pending_.fetch_sub(1, std::memory_order_relaxed);

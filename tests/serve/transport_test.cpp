@@ -1,0 +1,261 @@
+// Socket transport tests: N concurrent clients with isolated sessions,
+// per-connection response ordering, oversize-line handling, and shutdown
+// propagation from one client to the whole service.
+#include "src/serve/transport.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+
+namespace rap::serve {
+namespace {
+
+/// Unique, short socket path (AF_UNIX paths are length-limited, so build
+/// dirs are out).
+std::string socket_path(const char* tag) {
+  return "/tmp/rap_serve_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+std::string load_request(int seed) {
+  return R"({"op":"load","city":"grid","seed":)" + std::to_string(seed) +
+         R"(,"journeys":40,"utility":"linear","d":2500})";
+}
+
+JsonValue::Object expect_ok(const std::string& line) {
+  const JsonValue response = parse_json(line);
+  const JsonValue::Object& object = response.as_object();
+  EXPECT_TRUE(object.at("ok").as_bool()) << line;
+  return object;
+}
+
+/// A listener running in a background thread; the destructor stops and
+/// joins it.
+class ListenerFixture {
+ public:
+  explicit ListenerFixture(const std::string& path, ServerOptions options = {})
+      : server_(std::move(options)),
+        listener_(path),
+        thread_([this]() { (void)listener_.serve(server_); }) {}
+
+  ~ListenerFixture() {
+    listener_.stop();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Server& server() noexcept { return server_; }
+  UnixListener& listener() noexcept { return listener_; }
+
+ private:
+  Server server_;
+  UnixListener listener_;
+  std::thread thread_;
+};
+
+TEST(ServeTransport, RoundTripOverTheSocket) {
+  const std::string path = socket_path("roundtrip");
+  ListenerFixture fixture(path);
+
+  UnixClient client(path);
+  const JsonValue::Object loaded = expect_ok(client.request(load_request(1)));
+  EXPECT_GT(loaded.at("nodes").as_number(), 0.0);
+  const JsonValue::Object placed =
+      expect_ok(client.request(R"({"op":"place","k":2})"));
+  EXPECT_EQ(placed.at("result").as_object().at("nodes").as_array().size(), 2U);
+}
+
+TEST(ServeTransport, EachConnectionOwnsItsSession) {
+  const std::string path = socket_path("sessions");
+  ListenerFixture fixture(path);
+
+  UnixClient first(path);
+  UnixClient second(path);
+  const std::string first_key =
+      expect_ok(first.request(load_request(1))).at("key").as_string();
+  const std::string second_key =
+      expect_ok(second.request(load_request(2))).at("key").as_string();
+  EXPECT_NE(first_key, second_key);
+
+  // Each connection's stats see its own session key.
+  const JsonValue::Object first_stats =
+      expect_ok(first.request(R"({"op":"stats"})"));
+  const JsonValue::Object second_stats =
+      expect_ok(second.request(R"({"op":"stats"})"));
+  EXPECT_EQ(
+      first_stats.at("session").as_object().at("key").as_string(), first_key);
+  EXPECT_EQ(second_stats.at("session").as_object().at("key").as_string(),
+            second_key);
+  // Both connections plus the stdio client are registered.
+  EXPECT_EQ(
+      first_stats.at("server").as_object().at("clients").as_number(), 3.0);
+}
+
+TEST(ServeTransport, ConcurrentClientsAllGetTheirAnswers) {
+  const std::string path = socket_path("concurrent");
+  ListenerFixture fixture(path);
+
+  constexpr int kClients = 4;
+  constexpr int kPlacesPerClient = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&path, &failures, c]() {
+      try {
+        UnixClient client(path);
+        // Two distinct scenarios across the pool: cache hits and builds mix.
+        (void)expect_ok(client.request(load_request(1 + (c % 2))));
+        for (int i = 0; i < kPlacesPerClient; ++i) {
+          const std::string k = std::to_string(1 + (i % 3));
+          (void)expect_ok(client.request(R"({"op":"place","k":)" + k + "}"));
+        }
+      } catch (...) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServeTransport, PipelinedRequestsAnswerInOrder) {
+  const std::string path = socket_path("pipeline");
+  ListenerFixture fixture(path);
+
+  UnixClient client(path);
+  (void)expect_ok(client.request(load_request(1)));
+  // Fire a burst of ided requests in one request/response loop: responses
+  // must come back in request order (the per-connection contract).
+  for (int i = 0; i < 20; ++i) {
+    const JsonValue::Object response = expect_ok(client.request(
+        R"({"op":"evaluate","nodes":[0],"id":)" + std::to_string(i) + "}"));
+    EXPECT_EQ(response.at("id").as_number(), static_cast<double>(i));
+  }
+}
+
+TEST(ServeTransport, OversizeLineIsRefusedStructurally) {
+  const std::string path = socket_path("oversize");
+  ListenerFixture fixture(path);
+
+  UnixClient client(path);
+  std::string huge = R"({"op":"stats","pad":")";
+  huge.append(kMaxLineBytes + 1024, 'x');
+  // The server refuses once the buffered line passes the cap: either the
+  // client still receives the structured bad_request, or the connection
+  // drops mid-send — both are refusals, neither is unbounded buffering.
+  try {
+    const JsonValue response = parse_json(client.request(huge));
+    EXPECT_FALSE(response.as_object().at("ok").as_bool());
+  } catch (const std::runtime_error&) {
+  }
+  // Either way the connection is dead afterwards.
+  EXPECT_THROW((void)client.request(R"({"op":"stats"})"), std::runtime_error);
+}
+
+TEST(ServeTransport, ShutdownFromOneClientStopsTheService) {
+  const std::string path = socket_path("shutdown");
+  Server server;
+  UnixListener listener(path);
+  std::thread serving([&listener, &server]() { (void)listener.serve(server); });
+  // The response must arrive before the service tears the connection down;
+  // join before asserting so a failure never unwinds past a joinable thread.
+  std::string response;
+  try {
+    UnixClient client(path);
+    response = client.request(R"({"op":"shutdown"})");
+  } catch (...) {
+    listener.stop();
+    serving.join();
+    throw;
+  }
+  serving.join();  // serve() must return on its own
+  (void)expect_ok(response);
+  EXPECT_TRUE(server.shutdown_requested());
+}
+
+TEST(ServeTransport, StaleSocketFileIsReplaced) {
+  const std::string path = socket_path("stale");
+  // Simulate a crashed predecessor: bind the path, close the socket
+  // without unlinking, leaving the dead file behind.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof address.sun_path);
+    std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+    (void)::unlink(path.c_str());
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+                     sizeof address),
+              0);
+    ::close(fd);
+  }
+  // The new listener must replace the stale file and actually serve.
+  ListenerFixture fixture(path);
+  UnixClient client(path);
+  (void)expect_ok(client.request(R"({"op":"stats"})"));
+}
+
+TEST(ServeTransport, DirectMultiClientStress) {
+  // Socketless N-client stress against handle_line(client, line): the
+  // sharpest TSan target, no transport latency in the way. Clients share
+  // one cached scenario and mutate their private sessions concurrently.
+  Server server;
+  constexpr int kClients = 4;
+  constexpr int kRounds = 8;
+  std::vector<ClientId> ids;
+  ids.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) ids.push_back(server.open_client());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &failures, id = ids[c], c]() {
+      const auto ok = [&](const std::string& line) {
+        return parse_json(server.handle_line(id, line))
+            .as_object()
+            .at("ok")
+            .as_bool();
+      };
+      if (!ok(load_request(1))) failures.fetch_add(1);
+      for (int i = 0; i < kRounds; ++i) {
+        if (!ok(R"({"op":"place","k":)" + std::to_string(1 + (i % 3)) + "}")) {
+          failures.fetch_add(1);
+        }
+        if (!ok(R"({"op":"delta","ops":[{"kind":"add_flow","origin":)" +
+                std::to_string(c) + R"(,"destination":)" +
+                std::to_string(5 + i) + "}]}")) {
+          failures.fetch_add(1);
+        }
+        if (!ok(R"({"op":"stats"})")) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const ClientId id : ids) server.close_client(id);
+  EXPECT_EQ(server.client_count(), 1U);  // the stdio client remains
+}
+
+TEST(ServeTransport, ClosedClientSlotRefusesLateRequests) {
+  Server server;
+  const ClientId client = server.open_client();
+  server.close_client(client);
+  const JsonValue response =
+      parse_json(server.handle_line(client, R"({"op":"stats"})"));
+  EXPECT_FALSE(response.as_object().at("ok").as_bool());
+}
+
+}  // namespace
+}  // namespace rap::serve

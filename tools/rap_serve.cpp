@@ -1,4 +1,5 @@
-// Placement-as-a-service driver: line-delimited JSON over stdio.
+// Placement-as-a-service driver: line-delimited JSON over stdio, or over a
+// unix-domain socket serving many clients concurrently.
 //
 //   rap_serve [--threads=N] [--cache-mb=N] [--metrics-out=FILE]
 //             [--trace-out=FILE] [--ring-capacity=N]
@@ -7,14 +8,27 @@
 //             [--oracle=auto|dijkstra|dense|bidijkstra|alt]
 //             [--oracle-node-limit=N] [--oracle-landmarks=N]
 //             [--oracle-cache-entries=N]
+//             [--listen=SOCKET] [--store-dir=DIR]
 //
 //   $ echo '{"op":"load","city":"grid","seed":1,"utility":"linear","d":2500}' |
 //       rap_serve
 //
 // One request per stdin line, one response per stdout line, schema
 // "rap.serve.v1" (src/serve/protocol.h documents the grammar; DESIGN.md §11
-// the architecture). The process exits on EOF or a shutdown request.
-// Diagnostics go to stderr only, so stdout stays machine-parseable.
+// the architecture; §14 the concurrent transport + store). The process
+// exits on EOF or a shutdown request. Diagnostics go to stderr only, so
+// stdout stays machine-parseable.
+//
+// Networked service (DESIGN.md §14):
+//   --listen=SOCKET  serve connections on a unix-domain socket instead of
+//                  stdio. Each connection gets its own session; distinct
+//                  connections are processed concurrently, one connection's
+//                  responses arrive in request order. A shutdown request
+//                  from any client stops the whole service.
+//   --store-dir=DIR  crash-safe scenario persistence: built scenarios are
+//                  written as memory-mapped segments keyed by content, and
+//                  a restarted server rehydrates its cache from DIR without
+//                  re-running generation, matching or Dijkstras.
 //
 // Observability (DESIGN.md §12):
 //   --metrics-out  aggregate telemetry (rap.telemetry.v1) on exit
@@ -53,6 +67,7 @@
 #include "src/obs/json.h"
 #include "src/obs/trace_export.h"
 #include "src/serve/server.h"
+#include "src/serve/transport.h"
 #include "src/traffic/oracle_detour.h"
 #include "src/util/cli.h"
 #include "src/util/thread_pool.h"
@@ -78,6 +93,8 @@ int main(int argc, char** argv) {
     const std::string log_out = flags.get_string("log-out", "");
     const std::string log_level = flags.get_string("log-level", "info");
     const bool virtual_ticks = flags.get_bool("virtual-ticks", false);
+    const std::string listen = flags.get_string("listen", "");
+    options.store_dir = flags.get_string("store-dir", "");
     options.detours.engine = flags.get_string("oracle", "auto");
     options.detours.dijkstra_node_limit =
         static_cast<std::size_t>(flags.get_int(
@@ -138,7 +155,18 @@ int main(int argc, char** argv) {
     if (rap::core::kAuditCompiledIn) auditor.emplace();
 
     rap::serve::Server server(options);
-    const int rc = server.run(std::cin, std::cout);
+    if (server.rehydrated_at_start() > 0) {
+      std::cerr << "rap_serve: rehydrated " << server.rehydrated_at_start()
+                << " scenario(s) from " << options.store_dir << "\n";
+    }
+    int rc = 0;
+    if (!listen.empty()) {
+      rap::serve::UnixListener listener(listen);
+      std::cerr << "rap_serve: listening on " << listener.path() << "\n";
+      rc = listener.serve(server);
+    } else {
+      rc = server.run(std::cin, std::cout);
+    }
     if (!metrics_out.empty()) {
       rap::obs::write_json(metrics_out, server.telemetry());
       std::cerr << "rap_serve: wrote telemetry to " << metrics_out << "\n";

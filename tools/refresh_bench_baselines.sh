@@ -18,7 +18,8 @@ cmake --build "$build" -j --target \
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
-"$build/bench/serve_throughput"  --out="$scratch/BENCH_serve.json"
+"$build/bench/serve_throughput"  --out="$scratch/BENCH_serve.json" \
+                                 --net-out="$scratch/BENCH_serve_net.json"
 "$build/bench/audit_overhead"    --out="$scratch/BENCH_audit.json"
 "$build/bench/parallel_speedup"  --out="$scratch/BENCH_parallel.json"
 # The metro-scale run (~10^5 nodes, 10^5 flows) takes a few minutes of
