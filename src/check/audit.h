@@ -20,6 +20,12 @@
 // mutation. Each audit bumps the ambient telemetry counter
 // "audit.states_checked" (and "audit.violations" on failure) plus
 // process-wide atomics for telemetry-free callers.
+//
+// Concurrency: this subsystem holds no mutex — its shared state is the hook
+// pointer and two monotonic counters, all lock-free atomics (hook install /
+// uninstall is acquire/release publication; see DESIGN.md §15 on why that
+// pattern sits outside the compile-time lock analysis). ScopedAuditor
+// additionally enforces single-installer semantics with an atomic flag.
 #pragma once
 
 #include <cstdint>

@@ -43,7 +43,10 @@ class PlacementState;
 using PlacementAuditHook = void (*)(const PlacementState&);
 
 /// Installs `hook` as the process-wide audit hook; returns the previous one
-/// (so scoped installers can restore it). Thread-safe.
+/// (so scoped installers can restore it). Thread-safe: the registration is a
+/// single acq_rel atomic exchange — acquire/release publication the
+/// compile-time lock analysis cannot model, documented as such in
+/// DESIGN.md §15 (this subsystem deliberately has no mutex to annotate).
 PlacementAuditHook set_placement_audit_hook(PlacementAuditHook hook) noexcept;
 
 /// The currently installed audit hook, or nullptr.

@@ -7,7 +7,7 @@ namespace rap::graph {
 bool SparseDistanceCache::lookup(NodeId from, NodeId to, double* out) {
   bool hit = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = map_.find(key(from, to));
     if (it != map_.end()) {
       *out = it->second;
@@ -30,7 +30,7 @@ void SparseDistanceCache::insert(NodeId from, NodeId to, double value) {
   if (max_entries_ == 0) return;
   std::uint64_t evicted = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (map_.size() >= max_entries_ &&
         map_.find(key(from, to)) == map_.end()) {
       evicted = map_.size();
@@ -48,12 +48,12 @@ void SparseDistanceCache::insert(NodeId from, NodeId to, double value) {
 }
 
 SparseDistanceCache::Stats SparseDistanceCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t SparseDistanceCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return map_.size();
 }
 

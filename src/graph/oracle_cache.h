@@ -15,10 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 
 #include "src/graph/road_network.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rap::graph {
 
@@ -45,14 +46,15 @@ class SparseDistanceCache {
 
   /// True (and writes `*out`) on a hit. Also bumps the ambient
   /// graph.oracle.cache.{hits,misses} counter for the calling thread.
-  [[nodiscard]] bool lookup(NodeId from, NodeId to, double* out);
+  [[nodiscard]] bool lookup(NodeId from, NodeId to, double* out)
+      RAP_EXCLUDES(mutex_);
 
   /// Stores a value; at capacity the whole generation is flushed first
   /// (bumping graph.oracle.cache.evictions by the dropped count).
-  void insert(NodeId from, NodeId to, double value);
+  void insert(NodeId from, NodeId to, double value) RAP_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const RAP_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const RAP_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t max_entries() const noexcept {
     return max_entries_;
   }
@@ -68,9 +70,9 @@ class SparseDistanceCache {
   }
 
   std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, double> map_;
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::uint64_t, double> map_ RAP_GUARDED_BY(mutex_);
+  Stats stats_ RAP_GUARDED_BY(mutex_);
 };
 
 }  // namespace rap::graph

@@ -9,7 +9,10 @@ namespace rap::graph {
 RoadNetwork::RoadNetwork(const RoadNetwork& other)
     : positions_(other.positions_), edges_(other.edges_) {}
 
-RoadNetwork& RoadNetwork::operator=(const RoadNetwork& other) {
+// Assignment requires exclusive access (standard container semantics), so
+// the adjacency cache reset takes no lock and is exempt from analysis.
+RoadNetwork& RoadNetwork::operator=(const RoadNetwork& other)
+    RAP_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     positions_ = other.positions_;
     edges_ = other.edges_;
@@ -30,7 +33,9 @@ RoadNetwork::RoadNetwork(RoadNetwork&& other) noexcept
   other.adjacency_valid_.store(false, std::memory_order_relaxed);
 }
 
-RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept {
+// Assignment requires exclusive access on both sides; no lock, no analysis.
+RoadNetwork& RoadNetwork::operator=(RoadNetwork&& other) noexcept
+    RAP_NO_THREAD_SAFETY_ANALYSIS {
   if (this != &other) {
     positions_ = std::move(other.positions_);
     edges_ = std::move(other.edges_);
@@ -89,14 +94,20 @@ const Edge& RoadNetwork::edge(EdgeId id) const {
   return edges_[id];
 }
 
-std::span<const EdgeId> RoadNetwork::out_edges(NodeId node) const {
+// Lock-free read of the published CSR: ensure_adjacency's acquire load of
+// adjacency_valid_ orders the guarded build before this access.
+std::span<const EdgeId> RoadNetwork::out_edges(NodeId node) const
+    RAP_NO_THREAD_SAFETY_ANALYSIS {
   check_node(node);
   ensure_adjacency();
   return {out_adj_.entries.data() + out_adj_.start[node],
           out_adj_.entries.data() + out_adj_.start[node + 1]};
 }
 
-std::span<const EdgeId> RoadNetwork::in_edges(NodeId node) const {
+// Lock-free read of the published CSR: ensure_adjacency's acquire load of
+// adjacency_valid_ orders the guarded build before this access.
+std::span<const EdgeId> RoadNetwork::in_edges(NodeId node) const
+    RAP_NO_THREAD_SAFETY_ANALYSIS {
   check_node(node);
   ensure_adjacency();
   return {in_adj_.entries.data() + in_adj_.start[node],
@@ -128,7 +139,7 @@ void RoadNetwork::ensure_adjacency() const {
   // any reader whose acquire load sees `true`, so concurrent const callers
   // (parallel Dijkstra sweeps) never observe a half-built adjacency.
   if (adjacency_valid_.load(std::memory_order_acquire)) return;
-  const std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  const util::MutexLock lock(adjacency_mutex_);
   if (adjacency_valid_.load(std::memory_order_relaxed)) return;
   out_adj_ = build_adjacency(/*incoming=*/false);
   in_adj_ = build_adjacency(/*incoming=*/true);

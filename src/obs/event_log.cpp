@@ -80,7 +80,7 @@ void EventLog::log(LogLevel level, std::string_view event,
   }
   line << "}}";
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (level < min_level_) {
     ++suppressed_;
     return;
@@ -91,12 +91,12 @@ void EventLog::log(LogLevel level, std::string_view event,
 }
 
 std::uint64_t EventLog::lines_written() const noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return written_;
 }
 
 std::uint64_t EventLog::lines_suppressed() const noexcept {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return suppressed_;
 }
 

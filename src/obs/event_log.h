@@ -21,8 +21,10 @@
 #include <ostream>
 #include <string>
 #include <string_view>
-#include <mutex>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rap::obs {
 
@@ -68,18 +70,23 @@ class EventLog {
   /// Writes one line when `level` >= min_level; otherwise counts it as
   /// suppressed. `event` should follow the rap.telemetry.v1 name grammar.
   void log(LogLevel level, std::string_view event,
-           const std::vector<LogField>& fields = {});
+           const std::vector<LogField>& fields = {}) RAP_EXCLUDES(mutex_);
 
   [[nodiscard]] LogLevel min_level() const noexcept { return min_level_; }
-  [[nodiscard]] std::uint64_t lines_written() const noexcept;
-  [[nodiscard]] std::uint64_t lines_suppressed() const noexcept;
+  [[nodiscard]] std::uint64_t lines_written() const noexcept
+      RAP_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t lines_suppressed() const noexcept
+      RAP_EXCLUDES(mutex_);
 
  private:
+  // The stream reference itself is immutable; *writes* to the stream happen
+  // only inside log()'s critical section, which is what keeps concurrent
+  // lines whole.
   std::ostream& out_;
-  mutable std::mutex mutex_;
-  LogLevel min_level_;
-  std::uint64_t written_ = 0;
-  std::uint64_t suppressed_ = 0;
+  mutable util::Mutex mutex_;
+  LogLevel min_level_;  // immutable after construction
+  std::uint64_t written_ RAP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t suppressed_ RAP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace rap::obs

@@ -127,7 +127,7 @@ FlightRecorder* FlightRecorder::active() noexcept {
 
 EventRing& FlightRecorder::ring_for_current_thread() {
   if (t_slot.recorder_id == id_) return *t_slot.ring;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   rings_.push_back(std::make_unique<EventRing>(options_.ring_capacity));
   t_slot = {id_, rings_.back().get()};
   return *t_slot.ring;
@@ -138,7 +138,7 @@ void FlightRecorder::record(TraceEvent event) {
 }
 
 std::vector<FlightRecorder::ThreadLog> FlightRecorder::collect() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<ThreadLog> out;
   out.reserve(rings_.size());
   for (std::size_t i = 0; i < rings_.size(); ++i) {
@@ -148,19 +148,19 @@ std::vector<FlightRecorder::ThreadLog> FlightRecorder::collect() const {
 }
 
 std::size_t FlightRecorder::thread_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return rings_.size();
 }
 
 std::uint64_t FlightRecorder::total_events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& ring : rings_) total += ring->size();
   return total;
 }
 
 std::uint64_t FlightRecorder::total_dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& ring : rings_) total += ring->dropped();
   return total;

@@ -38,10 +38,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rap::obs {
 
@@ -154,23 +156,25 @@ class FlightRecorder {
 
   /// Snapshot of every registered thread's ring, in registration order.
   /// Requires recording quiescence (see the header comment).
-  [[nodiscard]] std::vector<ThreadLog> collect() const;
+  [[nodiscard]] std::vector<ThreadLog> collect() const RAP_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t thread_count() const;
+  [[nodiscard]] std::size_t thread_count() const RAP_EXCLUDES(mutex_);
   /// Events currently retained across all rings.
-  [[nodiscard]] std::uint64_t total_events() const;
-  [[nodiscard]] std::uint64_t total_dropped() const;
+  [[nodiscard]] std::uint64_t total_events() const RAP_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t total_dropped() const RAP_EXCLUDES(mutex_);
   [[nodiscard]] const RecorderOptions& options() const noexcept {
     return options_;
   }
 
  private:
-  EventRing& ring_for_current_thread();
+  EventRing& ring_for_current_thread() RAP_EXCLUDES(mutex_);
 
   RecorderOptions options_;
   std::uint64_t id_;  // distinguishes recorder incarnations for the TL cache
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<EventRing>> rings_;
+  mutable util::Mutex mutex_;
+  // The registry only; each ring's *contents* are single-producer state
+  // owned by the registering thread (snapshots require quiescence).
+  std::vector<std::unique_ptr<EventRing>> rings_ RAP_GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -9,7 +9,7 @@ SessionScheduler::SessionScheduler() {
 }
 
 ClientId SessionScheduler::open_client() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const ClientId id = next_id_++;
   clients_.emplace(id, std::make_shared<ClientLock::Slot>());
   return id;
@@ -18,7 +18,7 @@ ClientId SessionScheduler::open_client() {
 void SessionScheduler::close_client(ClientId id) {
   std::shared_ptr<ClientLock::Slot> slot;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = clients_.find(id);
     if (it == clients_.end()) return;
     slot = std::move(it->second);
@@ -26,19 +26,19 @@ void SessionScheduler::close_client(ClientId id) {
   }
   // Destroy the session outside the registry lock, after any in-flight
   // request of this client releases the slot.
-  const std::lock_guard<std::mutex> drain(slot->mutex);
+  const util::MutexLock drain(slot->mutex);
   slot->session.reset();
 }
 
 std::size_t SessionScheduler::client_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return clients_.size();
 }
 
 SessionScheduler::ClientLock SessionScheduler::lock_client(ClientId id) {
   std::shared_ptr<ClientLock::Slot> slot;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = clients_.find(id);
     if (it == clients_.end()) return ClientLock();
     slot = it->second;

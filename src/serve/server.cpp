@@ -201,6 +201,16 @@ Server::Server(ServerOptions options)
   }
 }
 
+void Server::record_verb_latency(const char* verb, double elapsed_ms) {
+  const auto verb_it = verb_latency_.find(verb);
+  obs::Histogram& verb_hist =
+      verb_it != verb_latency_.end()
+          ? verb_it->second
+          : verb_latency_.emplace(verb, obs::Histogram(std::vector<double>{}))
+                .first->second;
+  verb_hist.observe(elapsed_ms);
+}
+
 Session& Server::session_or_throw(ClientLock& client) {
   if (client.session() == nullptr) {
     throw RequestError("no_session", "no scenario loaded; send a load request");
@@ -231,7 +241,7 @@ JsonValue Server::handle_load(ClientLock& client,
   try {
     const std::uint64_t key = scenario_key(spec);
     {
-      const std::lock_guard<std::mutex> lock(cache_mutex_);
+      const util::MutexLock lock(cache_mutex_);
       scenario = cache_.lookup(key);
     }
     if (scenario != nullptr) {
@@ -242,7 +252,7 @@ JsonValue Server::handle_load(ClientLock& client,
       scenario = store_->load(key);
       if (scenario != nullptr) {
         source = "store";
-        const std::lock_guard<std::mutex> lock(cache_mutex_);
+        const util::MutexLock lock(cache_mutex_);
         cache_.insert(scenario);
       }
     }
@@ -252,11 +262,11 @@ JsonValue Server::handle_load(ClientLock& client,
       // content-keyed results are interchangeable.
       scenario = build_scenario(spec, key, options_.detours);
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         ++scenario_builds_;
       }
       {
-        const std::lock_guard<std::mutex> lock(cache_mutex_);
+        const util::MutexLock lock(cache_mutex_);
         cache_.insert(scenario);
       }
       if (store_ != nullptr) (void)store_->put(*scenario);
@@ -329,7 +339,7 @@ JsonValue Server::handle_place_batch(ClientLock& client,
   std::vector<WarmStartResult> results(budgets.size());
   std::vector<obs::Telemetry> chunk_telemetry(budgets.size());
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
   util::parallel_for(
       0, budgets.size(), 1,
       [&](const util::ChunkRange& chunk) {
@@ -338,7 +348,7 @@ JsonValue Server::handle_place_batch(ClientLock& client,
           try {
             results[i] = session.place_const(budgets[i], deadline);
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
+            const util::MutexLock lock(error_mutex);
             if (first_error == nullptr) first_error = std::current_exception();
           }
         }
@@ -416,7 +426,7 @@ JsonValue Server::handle_stats(ClientLock& client, const JsonValue::Object&) {
   ScenarioCache::Stats cache;
   std::size_t cache_max_bytes = 0;
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const util::MutexLock lock(cache_mutex_);
     cache = cache_.stats();
     cache_max_bytes = cache_.max_bytes();
   }
@@ -471,7 +481,7 @@ JsonValue Server::handle_stats(ClientLock& client, const JsonValue::Object&) {
 
   JsonValue::Object server_json;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     server_json.emplace("requests", static_cast<double>(requests_));
     server_json.emplace("errors", static_cast<double>(errors_));
     server_json.emplace("scenario_builds",
@@ -488,7 +498,7 @@ JsonValue Server::handle_stats(ClientLock& client, const JsonValue::Object&) {
   // Per-verb latency distributions; the sorted member map fixes field order.
   JsonValue::Object verbs_json;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     for (const auto& [verb, hist] : verb_latency_) {
       JsonValue::Object verb_json;
       verb_json.emplace("count", static_cast<double>(hist.count()));
@@ -583,7 +593,7 @@ std::string Server::handle_line(ClientId client_id, const std::string& line) {
           "serve.queue.depth",
           static_cast<double>(pending_.load(std::memory_order_relaxed)));
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        const util::MutexLock lock(stats_mutex_);
         ++requests_;
       }
       obs::add_counter("serve.requests");
@@ -632,7 +642,7 @@ std::string Server::handle_line(ClientId client_id, const std::string& line) {
       const bool ok = error_code.empty();
       if (!ok) {
         {
-          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          const util::MutexLock lock(stats_mutex_);
           ++errors_;
         }
         obs::add_counter("serve.errors");
@@ -648,15 +658,8 @@ std::string Server::handle_line(ClientId client_id, const std::string& line) {
           static_cast<double>(obs::EventClock::now_ns() - start_ns) / 1e6;
       obs::observe("serve.request_ms", elapsed_ms);
       {
-        const std::lock_guard<std::mutex> lock(stats_mutex_);
-        const auto verb_it = verb_latency_.find(op_label);
-        obs::Histogram& verb_hist =
-            verb_it != verb_latency_.end()
-                ? verb_it->second
-                : verb_latency_
-                      .emplace(op_label, obs::Histogram(std::vector<double>{}))
-                      .first->second;
-        verb_hist.observe(elapsed_ms);
+        const util::MutexLock lock(stats_mutex_);
+        record_verb_latency(op_label, elapsed_ms);
       }
       if (options_.log != nullptr) {
         options_.log->log(obs::LogLevel::kInfo, "request.finish",
@@ -666,7 +669,7 @@ std::string Server::handle_line(ClientId client_id, const std::string& line) {
       }
     }
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const util::MutexLock lock(stats_mutex_);
       telemetry_.merge(request_telemetry);
     }
   }

@@ -60,7 +60,6 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "src/obs/event_log.h"
@@ -70,6 +69,8 @@
 #include "src/serve/scheduler.h"
 #include "src/serve/session.h"
 #include "src/serve/store.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace rap::serve {
@@ -137,7 +138,10 @@ class Server {
 
   /// Server-lifetime telemetry (all requests), for --metrics-out export.
   /// Take no reference while handle_line may run concurrently.
-  [[nodiscard]] const obs::Telemetry& telemetry() const noexcept {
+  // Documented quiescent read: callers export after every run loop has
+  // stopped, so the stats_mutex_ guard is deliberately not taken here.
+  [[nodiscard]] const obs::Telemetry& telemetry() const noexcept
+      RAP_NO_THREAD_SAFETY_ANALYSIS {
     return telemetry_;
   }
 
@@ -167,22 +171,29 @@ class Server {
   /// The client's open session, or a no_session error.
   static Session& session_or_throw(ClientLock& client);
 
+  /// Folds one request's latency into the per-verb histogram. REQUIRES the
+  /// stats lock: callers batch this with their other counter updates in a
+  /// single micro-critical section.
+  void record_verb_latency(const char* verb, double elapsed_ms)
+      RAP_REQUIRES(stats_mutex_);
+
   ServerOptions options_;
   // Guards cache_ (and store_ put/load stay internally synchronized); held
   // only around lookup/insert/stats, never across a build or placement.
-  mutable std::mutex cache_mutex_;
-  ScenarioCache cache_;
+  mutable util::Mutex cache_mutex_;
+  ScenarioCache cache_ RAP_GUARDED_BY(cache_mutex_);
   std::unique_ptr<ScenarioStore> store_;
   SessionScheduler scheduler_;
-  // Guards every member below; held only for counter/histogram updates.
-  mutable std::mutex stats_mutex_;
-  obs::Telemetry telemetry_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t errors_ = 0;
-  std::uint64_t scenario_builds_ = 0;
+  // Guards every member below it; held only for counter/histogram updates.
+  mutable util::Mutex stats_mutex_;
+  obs::Telemetry telemetry_ RAP_GUARDED_BY(stats_mutex_);
+  std::uint64_t requests_ RAP_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t errors_ RAP_GUARDED_BY(stats_mutex_) = 0;
+  std::uint64_t scenario_builds_ RAP_GUARDED_BY(stats_mutex_) = 0;
   // Latency distribution per validated verb ("other" buckets unknown ops
   // and unparseable lines). Sorted map -> deterministic stats field order.
-  std::map<std::string, obs::Histogram, std::less<>> verb_latency_;
+  std::map<std::string, obs::Histogram, std::less<>> verb_latency_
+      RAP_GUARDED_BY(stats_mutex_);
   std::size_t rehydrated_at_start_ = 0;
   std::uint64_t start_ns_ = 0;        // EventClock at construction
   util::PoolCounters pool_baseline_;  // counters at construction

@@ -399,7 +399,7 @@ bool ScenarioStore::put(const ServeScenario& scenario) {
       dynamic_cast<const StoredDetours*>(scenario.detours.get());
   if (scenario.detour_engine != kPersistableEngine ||
       (calculator == nullptr && stored == nullptr)) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++stats_.skipped;
     return false;
   }
@@ -419,7 +419,7 @@ bool ScenarioStore::put(const ServeScenario& scenario) {
   }
   const std::string bytes = serialize_segment(scenario, to_shop, from_shop);
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const std::string path = segment_path(scenario.key);
   std::error_code ignored;
   if (std::filesystem::exists(path, ignored)) return false;
@@ -453,14 +453,14 @@ std::shared_ptr<const ServeScenario> ScenarioStore::load(std::uint64_t key) {
     if (!map_segment(segment_path(key), map)) return nullptr;  // absent
     std::shared_ptr<const ServeScenario> scenario = parse_segment(map, key);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       ++stats_.rehydrated;
     }
     obs::add_counter("serve.store.rehydrated");
     obs::record_instant("serve.store.rehydrate", "key", key_filename(key));
     return scenario;
   } catch (const std::exception&) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ++stats_.corrupt;
     return nullptr;
   }
@@ -506,7 +506,7 @@ std::size_t ScenarioStore::rehydrate_into(ScenarioCache& cache) {
 }
 
 ScenarioStore::Stats ScenarioStore::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return stats_;
 }
 

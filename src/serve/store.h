@@ -47,12 +47,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/serve/scenario_cache.h"
 #include "src/traffic/detour.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rap::serve {
 
@@ -108,11 +109,12 @@ class ScenarioStore {
   /// Persists one built scenario under its content key. Returns true when a
   /// segment was written; false when the scenario's engine is not
   /// persistable, the key is already stored, or IO failed (see stats()).
-  bool put(const ServeScenario& scenario);
+  bool put(const ServeScenario& scenario) RAP_EXCLUDES(mutex_);
 
   /// Rehydrates one scenario by content key. Returns nullptr when the key
   /// is absent or the segment fails validation (counted corrupt).
-  [[nodiscard]] std::shared_ptr<const ServeScenario> load(std::uint64_t key);
+  [[nodiscard]] std::shared_ptr<const ServeScenario> load(std::uint64_t key)
+      RAP_EXCLUDES(mutex_);
 
   /// Content keys of every segment on disk, sorted ascending — the
   /// deterministic rehydration order.
@@ -122,7 +124,7 @@ class ScenarioStore {
   /// own LRU budget applies). Returns the number of scenarios rehydrated.
   std::size_t rehydrate_into(ScenarioCache& cache);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const RAP_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t segment_count() const;
   [[nodiscard]] const std::string& directory() const noexcept {
     return directory_;
@@ -132,8 +134,12 @@ class ScenarioStore {
   [[nodiscard]] std::string segment_path(std::uint64_t key) const;
 
   std::string directory_;
-  mutable std::mutex mutex_;
-  Stats stats_;
+  // Guards the counters AND serializes put()'s serialize-check-write-rename
+  // sequence (two racing put()s for one key must not both pass the exists
+  // check). load()/keys() read the filesystem lock-free: the atomic rename
+  // makes a segment either fully visible or absent.
+  mutable util::Mutex mutex_;
+  Stats stats_ RAP_GUARDED_BY(mutex_);
 };
 
 }  // namespace rap::serve

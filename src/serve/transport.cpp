@@ -179,6 +179,9 @@ int UnixListener::serve(Server& server) {
     (void)::setsockopt(connection_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                        sizeof send_timeout);
     auto done = std::make_unique<std::atomic<bool>>(false);
+    // One of the two sanctioned raw-thread sites in the tree (with
+    // util/thread_pool — rap_lint RAP009): handler threads are per-connection
+    // and joined by the reap sweep, never detached.
     std::thread thread([&server, connection_fd, flag = done.get()]() {
       serve_connection(server, connection_fd, *flag);
     });

@@ -1,0 +1,85 @@
+// Annotated mutex primitives: std::mutex and friends, carrying Clang Thread
+// Safety Analysis capability attributes (src/util/thread_annotations.h).
+//
+// Every concurrent subsystem uses these instead of the raw std:: types
+// (enforced by rap_lint RAP008), so `GUARDED_BY(mutex_)` on a data member is
+// a compile-time contract under the `thread-safety` preset rather than a
+// comment. The API is deliberately minimal — exclusive lock, scoped guard,
+// condition variable — because that is all the repo's locking discipline
+// uses: no shared/reader locks, no timed waits, no recursive mutexes.
+//
+// DESIGN.md §15 documents the conventions and the analysis' blind spots.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace rap::util {
+
+/// An exclusive mutex (std::mutex) that is a TSA capability. Prefer
+/// MutexLock over calling lock()/unlock() directly.
+class RAP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RAP_ACQUIRE() { mutex_.lock(); }
+  void unlock() RAP_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() RAP_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII scoped lock over Mutex (the annotated counterpart of
+/// std::lock_guard). Not movable: ownership-transferring guards are exactly
+/// what the analysis cannot follow (see serve::ClientLock for the one
+/// sanctioned exception).
+class RAP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) RAP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() RAP_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on a util::Mutex. wait() REQUIRES the mutex
+/// held — the analysis then accepts guarded reads in the caller's wait loop:
+///
+///   const MutexLock lock(mutex_);
+///   while (!condition_over_guarded_state()) cv_.wait(mutex_);
+///
+/// (Predicate-lambda overloads are deliberately absent: a lambda body is
+/// analyzed as its own function, which does not hold the capability, so
+/// guarded reads inside it would need suppressions. The explicit loop keeps
+/// the wait analyzable.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mutex` and blocks; `mutex` is re-acquired before
+  /// returning, so the capability is held on entry and on exit.
+  void wait(Mutex& mutex) RAP_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // condition_variable_any works with any BasicLockable, so it waits on the
+  // annotated Mutex directly — no unannotated unique_lock escape needed.
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rap::util

@@ -1,0 +1,76 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the `capability`-family attributes so locking contracts —
+// which member a mutex guards, which helper requires a lock held, which
+// function must NOT be called with a lock held — are stated in the type
+// system and machine-checked at compile time under Clang with
+// `-Wthread-safety` (the `RAP_THREAD_SAFETY` CMake option / `thread-safety`
+// preset turn violations into errors). Off Clang every macro compiles to
+// nothing, so GCC builds are unaffected.
+//
+// The annotated mutex types live in src/util/mutex.h; DESIGN.md §15
+// documents the conventions, including when RAP_NO_THREAD_SAFETY_ANALYSIS
+// is acceptable (structurally blind spots only, always with a one-line
+// justification comment — rap_lint rejects the macro without one).
+#pragma once
+
+#if defined(__clang__)
+#define RAP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define RAP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (a lockable resource). The string names the
+/// capability kind in diagnostics — "mutex" for everything in this repo.
+#define RAP_CAPABILITY(x) RAP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (util::MutexLock).
+#define RAP_SCOPED_CAPABILITY RAP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding the named mutex.
+#define RAP_GUARDED_BY(x) RAP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named mutex.
+#define RAP_PT_GUARDED_BY(x) RAP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function acquires the capability (held on return). With no argument on a
+/// member function of a capability class, the capability is `this`.
+#define RAP_ACQUIRE(...) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define RAP_RELEASE(...) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define RAP_TRY_ACQUIRE(...) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability for the duration of the call (held on
+/// entry AND on exit — the convention for `*_locked` private helpers and for
+/// CondVar::wait).
+#define RAP_REQUIRES(...) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself, or
+/// calls something that does — documents "never held across" contracts and
+/// catches self-deadlock at compile time).
+#define RAP_EXCLUDES(...) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held; informs the analysis
+/// without acquiring anything.
+#define RAP_ASSERT_CAPABILITY(x) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define RAP_RETURN_CAPABILITY(x) \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: the function's body is not analyzed. Reserved for code the
+/// analysis is structurally blind to (ownership-transferring guards,
+/// documented quiescent readers); every use needs a one-line justification
+/// comment on the same line or the line above — enforced by rap_lint.
+#define RAP_NO_THREAD_SAFETY_ANALYSIS \
+  RAP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -68,11 +68,13 @@ struct ThreadPool::Job {
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> remaining{0};
-  std::mutex done_mutex;  // guards error state + helpers, pairs with done_cv
-  std::condition_variable done_cv;
-  std::exception_ptr error;
-  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
-  std::size_t helpers = 0;  // enqueued-but-unfinished helper slots
+  Mutex done_mutex;  // guards error state + helpers, pairs with done_cv
+  CondVar done_cv;
+  std::exception_ptr error RAP_GUARDED_BY(done_mutex);
+  std::size_t error_chunk RAP_GUARDED_BY(done_mutex) =
+      std::numeric_limits<std::size_t>::max();
+  // Enqueued-but-unfinished helper slots.
+  std::size_t helpers RAP_GUARDED_BY(done_mutex) = 0;
 
   // Claims and runs chunks until none are left. Shared by the caller and
   // every helper worker; the atomic claim is the only scheduling decision,
@@ -86,7 +88,7 @@ struct ThreadPool::Job {
         const std::size_t hi = std::min(last, lo + grain);
         (*body)({lo, hi, index});
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
+        const MutexLock lock(done_mutex);
         // Keep the lowest-indexed exception so which error surfaces does
         // not depend on thread timing.
         if (index < error_chunk) {
@@ -95,7 +97,7 @@ struct ThreadPool::Job {
         }
       }
       if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        const std::lock_guard<std::mutex> lock(done_mutex);
+        const MutexLock lock(done_mutex);
         done_cv.notify_all();
       }
     }
@@ -104,8 +106,8 @@ struct ThreadPool::Job {
   // Called by a worker after it has dropped its shared_ptr (the caller's
   // wait on helpers == 0 keeps `this` alive until then), and by run_chunks
   // for every queue entry it retracts.
-  void release_helpers(std::size_t count) {
-    const std::lock_guard<std::mutex> lock(done_mutex);
+  void release_helpers(std::size_t count) RAP_EXCLUDES(done_mutex) {
+    const MutexLock lock(done_mutex);
     helpers -= count;
     if (helpers == 0) done_cv.notify_all();
   }
@@ -120,7 +122,7 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -132,8 +134,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stopping_ && pending_.empty()) work_ready_.wait(mutex_);
       if (pending_.empty()) return;  // stopping_
       job = std::move(pending_.back());
       pending_.pop_back();
@@ -184,9 +186,14 @@ void ThreadPool::run_chunks(std::size_t first, std::size_t last,
   job->remaining.store(chunks, std::memory_order_relaxed);
 
   const std::size_t helpers = std::min(executors - 1, workers_.size());
-  job->helpers = helpers;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // Nothing else can see the job yet, but helpers is guarded and the
+    // analysis (correctly) has no notion of "not yet shared".
+    const MutexLock lock(job->done_mutex);
+    job->helpers = helpers;
+  }
+  {
+    const MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
       pending_.push_back(job);
     }
@@ -203,7 +210,7 @@ void ThreadPool::run_chunks(std::size_t first, std::size_t last,
   // so no queue entry keeps the job alive past this call.
   std::size_t retracted = 0;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto unclaimed = std::remove(pending_.begin(), pending_.end(), job);
     retracted = static_cast<std::size_t>(pending_.end() - unclaimed);
     pending_.erase(unclaimed, pending_.end());
@@ -211,11 +218,11 @@ void ThreadPool::run_chunks(std::size_t first, std::size_t last,
   if (retracted > 0) job->release_helpers(retracted);
 
   {
-    std::unique_lock<std::mutex> lock(job->done_mutex);
-    job->done_cv.wait(lock, [&] {
-      return job->remaining.load(std::memory_order_acquire) == 0 &&
-             job->helpers == 0;
-    });
+    const MutexLock lock(job->done_mutex);
+    while (job->remaining.load(std::memory_order_acquire) != 0 ||
+           job->helpers != 0) {
+      job->done_cv.wait(job->done_mutex);
+    }
     if (job->error) std::rethrow_exception(job->error);
   }
 }

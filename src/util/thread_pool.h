@@ -24,14 +24,15 @@
 // never oversubscribes and never deadlocks on its own pool.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace rap::util {
 
@@ -100,7 +101,8 @@ class ThreadPool {
   ///    inline execution which stops at the first throw like a plain loop.
   void run_chunks(std::size_t first, std::size_t last, std::size_t grain,
                   std::size_t max_threads,
-                  const std::function<void(const ChunkRange&)>& body);
+                  const std::function<void(const ChunkRange&)>& body)
+      RAP_EXCLUDES(mutex_);
 
   /// The process-wide pool used by parallel_for / parallel_reduce. Sized
   /// max(3, hardware_concurrency - 1) so differential tests exercise real
@@ -114,18 +116,20 @@ class ThreadPool {
  private:
   struct Job;
 
-  void worker_loop();
+  void worker_loop() RAP_EXCLUDES(mutex_);
 
   // All mutable pool state behind one mutex; workers block on work_ready_.
   // Queue entries reference jobs directly so run_chunks can retract its
   // unclaimed helper slots on completion: when it returns, no worker holds a
   // reference to the job, so the job — including any captured exception — is
   // destroyed on the calling thread.
-  std::vector<std::shared_ptr<Job>> pending_;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar work_ready_;
+  std::vector<std::shared_ptr<Job>> pending_ RAP_GUARDED_BY(mutex_);
+  bool stopping_ RAP_GUARDED_BY(mutex_) = false;
+  // Written only by the constructor, joined only by the destructor; never
+  // touched while workers run, so it needs no guard.
   std::vector<std::thread> workers_;
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;
 };
 
 /// Cumulative accounting of parallel-region execution since process start,

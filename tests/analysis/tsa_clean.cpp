@@ -1,0 +1,27 @@
+// Control for tsa_violation.cpp: the identical class with its lock intact
+// must compile cleanly under -Werror=thread-safety-analysis. If this file
+// fails, the violation probe's expected failure proves nothing (a broken
+// include path or flag set would fail both).
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  int open() RAP_EXCLUDES(mutex_) {
+    const rap::util::MutexLock lock(mutex_);
+    return next_id_++;
+  }
+
+ private:
+  rap::util::Mutex mutex_;
+  int next_id_ RAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  return registry.open();
+}

@@ -1,0 +1,30 @@
+// Negative-compile probe for the thread-safety gate (registered with
+// WILL_FAIL in tests/CMakeLists.txt, Clang only): this file mirrors
+// SessionScheduler::open_client (src/serve/scheduler.cpp) with its
+// util::MutexLock deliberately removed. Touching next_id_ without holding
+// mutex_ must be rejected by -Werror=thread-safety-analysis; if this file
+// ever compiles, the gate is not actually checking anything.
+// tsa_clean.cpp is the control: the same class with the lock restored.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Registry {
+ public:
+  int open() RAP_EXCLUDES(mutex_) {
+    // MutexLock deliberately missing.
+    return next_id_++;
+  }
+
+ private:
+  rap::util::Mutex mutex_;
+  int next_id_ RAP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry registry;
+  return registry.open();
+}

@@ -1,0 +1,78 @@
+// Stress for SparseDistanceCache's generation flush racing concurrent
+// lookup()/insert() — run under ThreadSanitizer by the tsan preset (label
+// `oracle`). The determinism contract says cached values are pure functions
+// of their keys, so a racing flush may cost a recompute but must never
+// change what a hit returns; the exact stats counters must balance no
+// matter how the threads interleave.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/oracle_cache.h"
+
+namespace rap::graph {
+namespace {
+
+double value_for(NodeId from, NodeId to) {
+  return static_cast<double>(from) * 4096.0 + static_cast<double>(to);
+}
+
+TEST(OracleCacheStress, GenerationFlushesRaceLookupsWithoutCorruption) {
+  constexpr std::size_t kCapacity = 64;    // tiny: forces constant flushing
+  constexpr unsigned kThreads = 8;
+  constexpr int kRounds = 100;
+  constexpr std::uint32_t kSide = 16;      // 16x16 = 256 keys > capacity
+  SparseDistanceCache cache(kCapacity);
+
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> inserts{0};
+  std::atomic<int> wrong_values{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &lookups, &inserts, &wrong_values, t]() {
+      std::uint64_t my_lookups = 0;
+      std::uint64_t my_inserts = 0;
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::uint32_t i = 0; i < kSide * kSide; ++i) {
+          // Stagger starting offsets so threads collide on different keys.
+          const std::uint32_t k = (i + t * 37) % (kSide * kSide);
+          const NodeId from = k / kSide;
+          const NodeId to = k % kSide;
+          double got = 0.0;
+          ++my_lookups;
+          if (cache.lookup(from, to, &got)) {
+            if (got != value_for(from, to)) wrong_values.fetch_add(1);
+          } else {
+            cache.insert(from, to, value_for(from, to));
+            ++my_inserts;
+          }
+        }
+      }
+      lookups.fetch_add(my_lookups);
+      inserts.fetch_add(my_inserts);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // A hit must never surface a torn or stale value.
+  EXPECT_EQ(wrong_values.load(), 0);
+
+  // Exact accounting (the header's contract), regardless of interleaving.
+  const SparseDistanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_EQ(stats.misses, inserts.load());  // every miss triggered one insert
+  EXPECT_EQ(stats.insertions, inserts.load());
+  EXPECT_LE(stats.evictions, stats.insertions);
+
+  // 256 distinct keys through a 64-entry cache cannot avoid flushing, and
+  // a flush-then-insert can never leave the map over budget.
+  EXPECT_GE(stats.flushes, 1u);
+  EXPECT_LE(cache.size(), kCapacity);
+}
+
+}  // namespace
+}  // namespace rap::graph

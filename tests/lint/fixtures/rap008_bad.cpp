@@ -1,0 +1,18 @@
+// RAP008 bad fixture (linted as if in src/): raw std concurrency types
+// instead of the annotated wrappers in src/util/mutex.h.
+#include <condition_variable>
+#include <mutex>
+
+std::mutex g_state_mutex;
+std::shared_mutex g_table_mutex;
+std::condition_variable g_wakeup;
+
+int locked_read(int* value) {
+  const std::lock_guard<std::mutex> lock(g_state_mutex);
+  return *value;
+}
+
+void locked_write(int* value) {
+  const std::unique_lock<std::mutex> lock(g_state_mutex);
+  *value += 1;
+}

@@ -1,0 +1,15 @@
+// RAP008 good fixture: the annotated wrappers and near-misses stay silent.
+#include "src/util/mutex.h"
+
+namespace other {
+struct mutex {};  // an unqualified `mutex` is not std::mutex
+}  // namespace other
+
+rap::util::Mutex g_state_mutex;
+other::mutex g_decoy;
+const char* g_doc = "std::mutex spelled in a string is not a use";
+
+int locked_read(int* value) {
+  const rap::util::MutexLock lock(g_state_mutex);
+  return *value;
+}

@@ -1,0 +1,18 @@
+// RAP009 bad fixture (linted as if in src/): ad-hoc thread spawning and
+// detaching outside the sanctioned sites.
+#include <thread>
+
+void work();
+
+void spawn_and_abandon() {
+  std::thread worker(work);
+  worker.detach();
+}
+
+void spawn_scoped() {
+  std::jthread helper(work);
+}
+
+void detach_via_pointer(std::thread* worker) {
+  worker->detach();
+}

@@ -1,0 +1,14 @@
+// RAP009 good fixture: capability queries and near-misses stay silent.
+#include <thread>
+
+unsigned pool_width() {
+  return std::thread::hardware_concurrency();  // query, not a spawn
+}
+
+void nap() { std::this_thread::yield(); }
+
+struct Telemetry {
+  int detach = 0;  // a member *named* detach is not a call
+};
+
+int read_detach(const Telemetry& telemetry) { return telemetry.detach; }

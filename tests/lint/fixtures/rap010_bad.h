@@ -1,0 +1,14 @@
+// RAP010 bad fixture: a util::Mutex member but not a single member carries a
+// guard annotation, so the analysis has nothing to check.
+#pragma once
+
+#include "src/util/mutex.h"
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable rap::util::Mutex mutex_;
+  long count_ = 0;
+};

@@ -1,0 +1,27 @@
+// RAP010 good fixture: annotated members, lock-free classes, and guard
+// classes holding a mutex by reference all stay silent.
+#pragma once
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+class Counter {
+ public:
+  void bump();
+
+ private:
+  mutable rap::util::Mutex mutex_;
+  long count_ RAP_GUARDED_BY(mutex_) = 0;
+};
+
+class LockFree {
+  long count_ = 0;  // no mutex, nothing to annotate
+};
+
+class GuardView {
+ public:
+  explicit GuardView(rap::util::Mutex& mutex) : mutex_(mutex) {}
+
+ private:
+  rap::util::Mutex& mutex_;  // a reference guards someone else's data
+};

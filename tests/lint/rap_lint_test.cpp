@@ -124,6 +124,25 @@ TEST(ClassifyPath, RuleApplicability) {
   const FileClass test_file = classify_path("tests/core/greedy_test.cpp");
   EXPECT_FALSE(test_file.in_src);
   EXPECT_FALSE(test_file.determinism_core);
+  EXPECT_FALSE(test_file.concurrency_wrapped);
+  EXPECT_FALSE(test_file.thread_spawn_banned);
+
+  const FileClass serve = classify_path("src/serve/server.cpp");
+  EXPECT_TRUE(serve.concurrency_wrapped);
+  EXPECT_TRUE(serve.thread_spawn_banned);
+
+  // The wrapper implementation and the two sanctioned spawn sites.
+  const FileClass wrapper = classify_path("src/util/mutex.h");
+  EXPECT_FALSE(wrapper.concurrency_wrapped);
+  EXPECT_TRUE(wrapper.thread_spawn_banned);
+
+  const FileClass pool = classify_path("src/util/thread_pool.cpp");
+  EXPECT_FALSE(pool.concurrency_wrapped);
+  EXPECT_FALSE(pool.thread_spawn_banned);
+
+  const FileClass transport = classify_path("src/serve/transport.cpp");
+  EXPECT_TRUE(transport.concurrency_wrapped);
+  EXPECT_FALSE(transport.thread_spawn_banned);
 }
 
 // --- RAP001 banned randomness --------------------------------------------
@@ -228,6 +247,122 @@ TEST(Rap006, OutsideSrcTheRuleDoesNotApply) {
       lint_file("tests/sample.cpp", load_fixture("rap006_bad.cpp")).empty());
 }
 
+// --- RAP008 raw concurrency primitives -----------------------------------
+
+TEST(Rap008, FiresOnEveryRawStdConcurrencyType) {
+  const auto findings =
+      lint_file("src/serve/sample.cpp", load_fixture("rap008_bad.cpp"));
+  // lock_guard<std::mutex> / unique_lock<std::mutex> each fire twice: once
+  // for the guard template, once for the mutex type argument.
+  EXPECT_EQ(lines_of(findings, "RAP008"),
+            (std::vector<std::size_t>{6, 7, 8, 11, 11, 16, 16}));
+}
+
+TEST(Rap008, SilentOnWrappersAndNearMisses) {
+  EXPECT_TRUE(lint_file("src/serve/sample.cpp", load_fixture("rap008_good.cpp"))
+                  .empty());
+}
+
+TEST(Rap008, TheWrapperImplementationItselfIsExempt) {
+  EXPECT_TRUE(lint_file("src/util/sample.cpp", load_fixture("rap008_bad.cpp"))
+                  .empty());
+}
+
+TEST(Rap008, OutsideSrcTheRuleDoesNotApply) {
+  EXPECT_TRUE(
+      lint_file("tests/sample.cpp", load_fixture("rap008_bad.cpp")).empty());
+}
+
+// --- RAP009 raw thread spawning ------------------------------------------
+
+TEST(Rap009, FiresOnSpawnsAndDetaches) {
+  const auto findings =
+      lint_file("src/serve/sample.cpp", load_fixture("rap009_bad.cpp"));
+  EXPECT_EQ(lines_of(findings, "RAP009"),
+            (std::vector<std::size_t>{8, 9, 13, 16, 17}));
+}
+
+TEST(Rap009, SilentOnQueriesAndNearMisses) {
+  EXPECT_TRUE(lint_file("src/serve/sample.cpp", load_fixture("rap009_good.cpp"))
+                  .empty());
+}
+
+TEST(Rap009, ThreadPoolAndTransportAreSanctioned) {
+  EXPECT_TRUE(
+      lint_file("src/util/thread_pool.cpp", load_fixture("rap009_bad.cpp"))
+          .empty());
+  EXPECT_TRUE(
+      lint_file("src/serve/transport.cpp", load_fixture("rap009_bad.cpp"))
+          .empty());
+}
+
+// --- RAP010 unguarded mutex member ---------------------------------------
+
+TEST(Rap010, FiresOnMutexMemberWithNoGuardedData) {
+  const auto findings =
+      lint_file("src/sample.h", load_fixture("rap010_bad.h"));
+  EXPECT_EQ(rule_ids(findings), (std::multiset<std::string>{"RAP010"}));
+  EXPECT_EQ(lines_of(findings, "RAP010"), (std::vector<std::size_t>{12}));
+}
+
+TEST(Rap010, SilentOnAnnotatedLockFreeAndGuardClasses) {
+  EXPECT_TRUE(
+      lint_file("src/sample.h", load_fixture("rap010_good.h")).empty());
+}
+
+TEST(Rap010, SuppressibleOnTheMemberLine) {
+  const std::string source =
+      "#pragma once\n"
+      "class Pending {\n"
+      "  rap::util::Mutex mutex_;  // " +
+      kPrefix +
+      " allow(RAP010)\n"
+      "  int value_ = 0;\n"
+      "};\n";
+  EXPECT_TRUE(lint_file("src/sample.h", source).empty());
+}
+
+// --- RAP007 analysis escape hatch ----------------------------------------
+
+// Split like kPrefix so this file never carries the identifier itself.
+const std::string kNoTsa = std::string("RAP_NO_THREAD_") + "SAFETY_ANALYSIS";
+
+TEST(TsaEscape, UnjustifiedUseFiresUnderRap007) {
+  const std::string source = "void drop_lock() " + kNoTsa + " {}\n";
+  const auto findings = lint_file("src/serve/sample.cpp", source);
+  EXPECT_EQ(rule_ids(findings), (std::multiset<std::string>{"RAP007"}));
+}
+
+TEST(TsaEscape, CommentOnTheSameLineJustifies) {
+  const std::string source =
+      "void drop_lock() " + kNoTsa + " {}  // ownership moves to the caller\n";
+  EXPECT_TRUE(lint_file("src/serve/sample.cpp", source).empty());
+}
+
+TEST(TsaEscape, CommentAboveTheDeclarationJustifies) {
+  const std::string source =
+      "// The guard's ownership transfer is invisible to the analysis.\n"
+      "void drop_lock()\n"
+      "    " + kNoTsa + " {}\n";
+  EXPECT_TRUE(lint_file("src/serve/sample.cpp", source).empty());
+}
+
+TEST(TsaEscape, APrecedingStatementDoesNotJustify) {
+  const std::string source =
+      "int x = 1;  // unrelated comment ends with a statement\n"
+      "int unrelated = 2;\n"
+      "void drop_lock()\n"
+      "    " + kNoTsa + " {}\n";
+  const auto findings = lint_file("src/serve/sample.cpp", source);
+  EXPECT_EQ(rule_ids(findings), (std::multiset<std::string>{"RAP007"}));
+}
+
+TEST(TsaEscape, TheDefinitionItselfIsExempt) {
+  const std::string source =
+      "#define " + kNoTsa + " __attribute__((no_thread_safety_analysis))\n";
+  EXPECT_TRUE(lint_file("src/util/sample.cpp", source).empty());
+}
+
 // --- RAP007 directive hygiene + suppressions -----------------------------
 
 TEST(Rap007, FiresOnUnparseableDirectives) {
@@ -276,10 +411,10 @@ TEST(FormatFinding, PathLineRuleMessage) {
 
 TEST(KnownRules, AscendingAndComplete) {
   const auto& rules = known_rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 10u);
   EXPECT_TRUE(std::is_sorted(rules.begin(), rules.end()));
   EXPECT_EQ(rules.front(), "RAP001");
-  EXPECT_EQ(rules.back(), "RAP007");
+  EXPECT_EQ(rules.back(), "RAP010");
 }
 
 }  // namespace

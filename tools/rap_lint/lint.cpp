@@ -28,6 +28,22 @@ const std::set<std::string, std::less<>> kUnorderedTypes = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
 
+// std:: concurrency vocabulary with an annotated wrapper in src/util/mutex.h.
+const std::set<std::string, std::less<>> kRawConcurrencyTypes = {
+    "mutex",          "timed_mutex",
+    "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex",   "shared_timed_mutex",
+    "lock_guard",     "scoped_lock",
+    "unique_lock",    "shared_lock",
+    "condition_variable", "condition_variable_any"};
+
+// Built split so this file's own source never carries the identifier.
+const std::string& no_tsa_macro() {
+  static const std::string kMacro =
+      std::string("RAP_NO_THREAD_") + "SAFETY_ANALYSIS";
+  return kMacro;
+}
+
 // obs-layer entry points whose first argument names a metric or span.
 const std::set<std::string, std::less<>> kTelemetryApis = {
     "add_counter",       "set_gauge",
@@ -162,6 +178,10 @@ class Linter {
     }
     check_telemetry_names();
     if (file_class_.in_src) check_naked_new_delete();
+    if (file_class_.concurrency_wrapped) check_raw_concurrency();
+    if (file_class_.thread_spawn_banned) check_raw_threads();
+    if (file_class_.in_src) check_unguarded_mutex_class();
+    check_tsa_escape_justifications();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -408,6 +428,154 @@ class Linter {
     }
   }
 
+  // RAP008 — locking in src/ (outside src/util/) goes through the annotated
+  // wrappers so Clang Thread Safety Analysis sees every acquire/release.
+  void check_raw_concurrency() {
+    for (std::size_t i = 2; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind != TokenKind::kIdentifier ||
+          kRawConcurrencyTypes.find(t.text) == kRawConcurrencyTypes.end()) {
+        continue;
+      }
+      if (!is_punct(i - 1, "::") || !is_ident(i - 2, "std")) continue;
+      report("RAP008", t.line,
+             "raw `std::" + t.text +
+                 "` outside src/util/: use util::Mutex / util::MutexLock / "
+                 "util::CondVar (src/util/mutex.h) so Thread Safety Analysis "
+                 "sees the lock");
+    }
+  }
+
+  // RAP009 — threads are spawned by util/thread_pool or serve/transport and
+  // stay joinable everywhere; no ad-hoc std::thread, never detach().
+  void check_raw_threads() {
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "thread" || t.text == "jthread") {
+        const bool qualified =
+            i >= 2 && is_punct(i - 1, "::") && is_ident(i - 2, "std");
+        // `std::thread::hardware_concurrency()` is a capability query, not a
+        // spawn site.
+        const bool nested_name = is_punct(i + 1, "::");
+        if (qualified && !nested_name) {
+          report("RAP009", t.line,
+                 "raw `std::" + t.text +
+                     "` outside util/thread_pool and serve/transport: run "
+                     "work on util::ThreadPool (pooled, joined, "
+                     "TSan-covered) or extend the sanctioned list");
+        }
+      } else if (t.text == "detach") {
+        const bool member_access =
+            (i > 0 && is_punct(i - 1, ".")) ||
+            (i > 1 && is_punct(i - 1, ">") && is_punct(i - 2, "-"));
+        if (member_access && is_punct(i + 1, "(")) {
+          report("RAP009", t.line,
+                 "`.detach()` abandons a thread nothing can join or drain at "
+                 "shutdown; keep handles joinable and reap them");
+        }
+      }
+    }
+  }
+
+  // RAP010 — a class holding a util::Mutex member must put the lock to work:
+  // at least one member annotated RAP_GUARDED_BY / RAP_PT_GUARDED_BY.
+  // Class bodies are tracked with a brace stack; `class`/`struct` arms a
+  // pending flag that the body's `{` consumes (cleared by `;`, `(`, `)` or
+  // `=` so forward declarations, template parameter lists, and function
+  // signatures never arm it).
+  void check_unguarded_mutex_class() {
+    struct Scope {
+      bool is_class = false;
+      std::size_t mutex_line = 0;  // first value-typed Mutex member; 0 = none
+      std::string mutex_name;
+      bool has_guarded = false;
+    };
+    std::vector<Scope> scopes;
+    bool pending_class = false;
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind == TokenKind::kIdentifier) {
+        if ((t.text == "class" || t.text == "struct") &&
+            !(i > 0 && is_ident(i - 1, "enum"))) {
+          pending_class = true;
+        } else if (!scopes.empty() && scopes.back().is_class) {
+          Scope& scope = scopes.back();
+          if (t.text == "Mutex" && scope.mutex_line == 0) {
+            // `Mutex name_;` — a reference (`Mutex&`) is a guard over some
+            // other object's lock and is exempt.
+            const Token* name = tok(i + 1);
+            if (name != nullptr && name->kind == TokenKind::kIdentifier &&
+                is_punct(i + 2, ";")) {
+              scope.mutex_line = t.line;
+              scope.mutex_name = name->text;
+            }
+          } else if (t.text == "RAP_GUARDED_BY" ||
+                     t.text == "RAP_PT_GUARDED_BY") {
+            scope.has_guarded = true;
+          }
+        }
+        continue;
+      }
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == ";" || t.text == "(" || t.text == ")" || t.text == "=") {
+        pending_class = false;
+      } else if (t.text == "{") {
+        scopes.push_back({pending_class, 0, "", false});
+        pending_class = false;
+      } else if (t.text == "}" && !scopes.empty()) {
+        const Scope done = scopes.back();
+        scopes.pop_back();
+        if (done.is_class && done.mutex_line != 0 && !done.has_guarded) {
+          report("RAP010", done.mutex_line,
+                 "mutex member `" + done.mutex_name +
+                     "` guards no annotated member: add RAP_GUARDED_BY(" +
+                     done.mutex_name +
+                     ") to the data it protects (or drop the mutex)");
+        }
+      }
+    }
+  }
+
+  // RAP007 (escape-hatch half) — the analysis opt-out macro is only
+  // acceptable with a written reason: a comment on the same or preceding
+  // line. The `#define` lines in thread_annotations.h are the definition,
+  // not a use.
+  void check_tsa_escape_justifications() {
+    for (const Token& t : tokens_) {
+      if (t.kind != TokenKind::kIdentifier || t.text != no_tsa_macro()) {
+        continue;
+      }
+      if (t.line == 0 || t.line > lines_.size()) continue;
+      const std::string& line = lines_[t.line - 1];
+      std::string_view trimmed(line);
+      trim(trimmed);
+      if (!trimmed.empty() && trimmed.front() == '#') continue;
+      bool justified = line.find("//") != std::string::npos;
+      // The macro usually sits on a continuation line of a multi-line
+      // declaration; walk upward through the declaration until a comment
+      // (justified) or the end of the previous statement (not justified).
+      for (std::size_t k = t.line - 1; !justified && k >= 1; --k) {
+        const std::string& above = lines_[k - 1];
+        if (above.find("//") != std::string::npos) {
+          justified = true;
+          break;
+        }
+        std::string_view above_trimmed(above);
+        trim(above_trimmed);
+        if (above_trimmed.empty()) break;
+        const char last = above_trimmed.back();
+        if (last == ';' || last == '}' || last == '{') break;
+      }
+      if (justified) continue;
+      report("RAP007", t.line,
+             no_tsa_macro() +
+                 " without a justification comment: state on the same or "
+                 "preceding line why the analysis is structurally blind "
+                 "here (DESIGN.md §15)");
+    }
+  }
+
   std::string path_;
   FileClass file_class_;
   std::vector<std::string> lines_;
@@ -433,6 +601,10 @@ FileClass classify_path(std::string_view path) {
   fc.determinism_core =
       path_contains(path, "src/core/") || path_contains(path, "src/check/");
   fc.in_src = path.rfind("src/", 0) == 0 || path_contains(path, "/src/");
+  fc.concurrency_wrapped = fc.in_src && !path_contains(path, "src/util/");
+  fc.thread_spawn_banned = fc.in_src &&
+                           !path_contains(path, "src/util/thread_pool.") &&
+                           !path_contains(path, "src/serve/transport.");
   return fc;
 }
 
@@ -454,7 +626,8 @@ std::string format_finding(const Finding& finding) {
 
 const std::vector<std::string>& known_rules() {
   static const std::vector<std::string> kRules = {
-      "RAP001", "RAP002", "RAP003", "RAP004", "RAP005", "RAP006", "RAP007"};
+      "RAP001", "RAP002", "RAP003", "RAP004", "RAP005",
+      "RAP006", "RAP007", "RAP008", "RAP009", "RAP010"};
   return kRules;
 }
 

@@ -22,6 +22,27 @@
 //   RAP006 naked-new-delete    no `new` / `delete` expressions in src/ —
 //                              ownership goes through smart pointers and
 //                              containers.
+//   RAP007 directive-hygiene   every rap-lint directive comment must parse
+//                              (typos in a suppression would otherwise
+//                              silently stop suppressing), and every
+//                              RAP_NO_THREAD_SAFETY_
+//                              ANALYSIS escape hatch needs a justification
+//                              comment on the same or preceding line.
+//   RAP008 raw-concurrency     std::mutex / lock_guard / unique_lock /
+//                              condition_variable and friends anywhere in
+//                              src/ except src/util/ — locking goes through
+//                              the annotated util::Mutex / util::MutexLock /
+//                              util::CondVar wrappers (src/util/mutex.h) so
+//                              Clang Thread Safety Analysis sees every lock.
+//   RAP009 raw-thread          std::thread / std::jthread construction or
+//                              `.detach()` outside util/thread_pool and
+//                              serve/transport — work runs on the pool, and
+//                              every sanctioned thread stays joinable.
+//   RAP010 unguarded-mutex     a class in src/ holding a util::Mutex member
+//                              must annotate at least one member with
+//                              RAP_GUARDED_BY / RAP_PT_GUARDED_BY — a mutex
+//                              that guards nothing the analysis can check is
+//                              either dead weight or a missing annotation.
 //
 // Suppression syntax (matched anywhere in a comment on the line):
 //   // rap-lint: allow(RAP001)            suppress on this line
@@ -52,7 +73,10 @@ struct FileClass {
   bool is_header = false;        // RAP003 / RAP004 apply
   bool rng_exempt = false;       // src/util/rng.* — RAP001 does not apply
   bool determinism_core = false; // src/core/ or src/check/ — RAP002 applies
-  bool in_src = false;           // src/ — RAP006 applies
+  bool in_src = false;           // src/ — RAP006 / RAP010 apply
+  bool concurrency_wrapped = false;  // src/ minus src/util/ — RAP008 applies
+  bool thread_spawn_banned = false;  // src/ minus thread_pool/transport —
+                                     // RAP009 applies
 };
 
 /// Derives the file class from a repo-relative path like "src/core/greedy.cpp".
