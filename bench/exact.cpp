@@ -1,0 +1,130 @@
+// Certified-optimality-gap bench (DESIGN.md §16): on the Seattle-like
+// gravity workload, price the composite greedy against the exact tier's
+// certified upper bound at the real budgets k in {8, 16, 32} — where the
+// exhaustive oracle is hopeless and the Lagrangian/flow machinery is the
+// only source of truth. EXPERIMENTS.md's gap table is this bench's output.
+//
+// Writes BENCH_exact.json in the rap.bench.v1 schema (bench/common.h) so
+// tools/bench_compare gates the numbers against bench/baselines/: the
+// greedy objective, bound value, gap, tier, and iteration count are fully
+// deterministic (strict tolerance); wall times are loose.
+//
+//   exact [--seed=1] [--journeys=100] [--range=2500]
+//         [--iterations=100] [--out=BENCH_exact.json]
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/composite_greedy.h"
+#include "src/core/problem.h"
+#include "src/exact/bound.h"
+#include "src/trace/classify.h"
+#include "src/traffic/utility.h"
+#include "src/util/cli.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rap;
+  try {
+    const util::CliFlags flags(argc, argv);
+    const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    const auto journeys =
+        static_cast<std::size_t>(flags.get_int("journeys", 100));
+    const double range = flags.get_double("range", 2'500.0);
+    const auto iterations =
+        static_cast<std::size_t>(flags.get_int("iterations", 100));
+    const std::string out = flags.get_string("out", "BENCH_exact.json");
+    for (const std::string& flag : flags.unused()) {
+      std::cerr << "unknown flag --" << flag << "\n";
+      return 2;
+    }
+
+    const bench::CityWorkload city = bench::build_seattle(seed, journeys);
+    // Deterministic shop: the first city-class intersection, matching the
+    // shop pool the figure benches draw from.
+    const std::vector<graph::NodeId> pool =
+        trace::nodes_in_class(city.workload.classes,
+                              trace::LocationClass::kCity);
+    if (pool.empty()) {
+      std::cerr << "exact: no city-class intersection in the workload\n";
+      return 1;
+    }
+    const graph::NodeId shop = pool.front();
+    const traffic::LinearUtility utility(range);
+    const core::PlacementProblem problem(*city.net, city.workload.flows, shop,
+                                         utility);
+
+    std::cout << "exact: Seattle, " << city.net->num_nodes()
+              << " intersections, " << problem.num_flows()
+              << " flows, shop=" << shop << ", D=" << range << " ft\n\n";
+
+    // Real budgets: exhaustive is infeasible, so force the flow/Lagrangian
+    // machinery (the auto tier would refuse anyway at these C(n, k)).
+    exact::BoundOptions options;
+    options.exhaustive_tier = false;
+    options.max_iterations = iterations;
+
+    std::vector<bench::BenchMetric> metrics;
+    for (const std::size_t k : {std::size_t{8}, std::size_t{16},
+                                std::size_t{32}}) {
+      auto stage = Clock::now();
+      const core::PlacementResult greedy =
+          core::composite_greedy_placement(problem, k);
+      const double greedy_ms = ms_since(stage);
+
+      stage = Clock::now();
+      const exact::Bound bound =
+          exact::certified_upper_bound(problem, k, options);
+      const double bound_ms = ms_since(stage);
+      const double gap = exact::optimality_gap(greedy.customers, bound);
+
+      const std::string prefix = "exact.k" + std::to_string(k) + ".";
+      metrics.push_back({prefix + "greedy", greedy.customers, "customers",
+                         false});
+      metrics.push_back({prefix + "upper_bound", bound.value, "customers",
+                         true});
+      metrics.push_back({prefix + "gap", gap, "gap", true});
+      metrics.push_back({prefix + "iterations",
+                         static_cast<double>(bound.iterations), "count",
+                         true});
+      metrics.push_back({prefix + "bound_ms", bound_ms, "ms", true});
+      metrics.push_back({prefix + "greedy_ms", greedy_ms, "ms", true});
+
+      std::cout << "k=" << k << ": greedy " << greedy.customers
+                << " customers, bound " << bound.value << " ("
+                << exact::to_string(bound.kind) << " tier, "
+                << bound.iterations << " iteration(s)"
+                << (bound.optimal ? ", provably optimal" : "") << ")\n"
+                << "  gap <= " << gap * 100.0 << "%  [greedy " << greedy_ms
+                << " ms, bound " << bound_ms << " ms]\n";
+    }
+
+    bench::write_bench_json(out, "exact",
+                            {{"city", "seattle"},
+                             {"journeys", std::to_string(journeys)},
+                             {"seed", std::to_string(seed)},
+                             {"range_ft", std::to_string(
+                                 static_cast<int>(range))},
+                             {"iterations", std::to_string(iterations)},
+                             {"utility", "linear"}},
+                            metrics);
+    std::cout << "\nwrote " << out << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "exact: " << error.what() << "\n";
+    return 1;
+  }
+}

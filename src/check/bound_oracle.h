@@ -1,0 +1,50 @@
+// Exact-bound differential fuzz family (rap_fuzz --family=exact,
+// DESIGN.md §16): on a seeded random scenario, the certified upper bound
+// must actually certify. Per scenario:
+//   * soundness — every greedy variant's objective is <= the bound, with
+//     the exhaustive tier disabled (so the flow/Lagrangian machinery is the
+//     thing under test) AND with the default tiering;
+//   * exactness at toy budgets (monotone families; adversarial utilities
+//     make evaluation order-dependent, so the ascending-order exhaustive
+//     value is not an optimum over orderings) — for k <= 4 the exhaustive
+//     optimum is computable, so OPT <= forced bound, and when the forced
+//     bound claims optimality it equals OPT within the fixed-point quantum;
+//     the default tiering must route to the exhaustive tier and return OPT;
+//   * certificates replay — the certificate placement re-evaluates to its
+//     recorded objective and never exceeds the bound;
+//   * determinism — the whole Bound (value bits, kind, iterations,
+//     certificate) is identical under 1 thread and
+//     BoundFuzzOptions::parallel_threads threads.
+// A failing seed attaches the scenario's JSON reproducer, like the core
+// differential family.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/check/differential.h"
+
+namespace rap::check {
+
+struct BoundFuzzOptions {
+  /// Thread count for the parallel leg of the determinism check.
+  std::size_t parallel_threads = 4;
+  /// Subgradient budget for the forced (non-exhaustive) bound.
+  std::size_t max_iterations = 60;
+};
+
+struct BoundFuzzReport {
+  std::uint64_t seed = 0;
+  std::size_t checks_run = 0;
+  std::vector<DiffFailure> failures;
+  /// Scenario reproducer JSON; filled when a check fails.
+  std::string reproducer_json;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// generate_scenario(seed) + every exact-bound differential check.
+[[nodiscard]] BoundFuzzReport fuzz_bound_one(
+    std::uint64_t seed, const BoundFuzzOptions& options = {});
+
+}  // namespace rap::check

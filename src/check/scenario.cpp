@@ -202,7 +202,13 @@ std::string scenario_to_json(const Scenario& scenario) {
   for (std::size_t i = 0; i < scenario.net.num_edges(); ++i) {
     if (i != 0) out += ", ";
     const graph::Edge& e = scenario.net.edge(static_cast<graph::EdgeId>(i));
-    out += "[" + std::to_string(e.from) + ", " + std::to_string(e.to) + ", ";
+    // Appended piecewise: GCC 12's -Werror=restrict misfires on the
+    // operator+(const char*, std::string&&) chain at -O3.
+    out += "[";
+    out += std::to_string(e.from);
+    out += ", ";
+    out += std::to_string(e.to);
+    out += ", ";
     append_double(out, e.length);
     out += "]";
   }

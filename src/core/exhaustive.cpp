@@ -100,9 +100,16 @@ PlacementResult exhaustive_optimal_placement(const CoverageModel& model,
   const std::vector<graph::NodeId> pool = useful_candidates(model);
   const std::size_t effective_k = std::min(k, pool.size());
   if (effective_k == 0) return {};
-  if (combinations(pool.size(), effective_k) > options.max_combinations) {
-    throw std::runtime_error(
-        "exhaustive_optimal_placement: combination budget exceeded");
+  const std::size_t count = combinations(pool.size(), effective_k);
+  if (count > options.max_combinations) {
+    // Early exit BEFORE enumerating: a too-large instance is a caller error
+    // (pick the flow/Lagrangian bound tier instead), not a condition to
+    // discover after minutes of useless search.
+    throw std::invalid_argument(
+        "exhaustive_optimal_placement: C(" + std::to_string(pool.size()) +
+        ", " + std::to_string(effective_k) + ") = " + std::to_string(count) +
+        " combinations exceeds max_combinations = " +
+        std::to_string(options.max_combinations));
   }
   return Search(model, pool, effective_k).best();
 }

@@ -15,15 +15,20 @@
 namespace rap::core {
 
 struct ExhaustiveOptions {
-  /// Abort (std::runtime_error) when the number of candidate combinations
-  /// exceeds this bound; keeps accidental exponential blow-ups loud.
+  /// Hard cap on enumerated candidate combinations. When C(useful, k)
+  /// exceeds it, exhaustive_optimal_placement throws std::invalid_argument
+  /// BEFORE enumerating anything, naming the count and the cap — asking for
+  /// an exhaustive answer on such an instance is a caller error (use the
+  /// exact-bound tier, src/exact/bound.h), not a blow-up to time out on.
+  /// The default enumerates in seconds on commodity hardware.
   std::size_t max_combinations = 20'000'000;
 };
 
 /// Exact optimum over all placements of up to k RAPs. Budget contract
 /// (core/k_policy.h): k == 0 throws std::invalid_argument, k > num_nodes
 /// clamps and sets the "placement.k_clamped" telemetry gauge. Throws
-/// std::runtime_error past the combination budget.
+/// std::invalid_argument (naming C(useful, k) and the cap) past the
+/// combination budget — checked up front, before any enumeration.
 [[nodiscard]] PlacementResult exhaustive_optimal_placement(
     const CoverageModel& model, std::size_t k,
     const ExhaustiveOptions& options = {});

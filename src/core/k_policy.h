@@ -6,9 +6,13 @@
 //   * k == 0 throws std::invalid_argument (an empty budget is a caller bug,
 //     not a degenerate instance);
 //   * k > num_nodes clamps to num_nodes — no placement can use more RAPs
-//     than there are intersections — and records the clamped-away surplus on
-//     the ambient telemetry gauge "placement.k_clamped" (no-op without an
-//     installed obs::TelemetryScope).
+//     than there are intersections — records the clamped-away surplus on
+//     the ambient telemetry gauge "placement.k_clamped", and bumps the
+//     "placement.k_clamp_events" counter once per clamp (both no-ops
+//     without an installed obs::TelemetryScope). Entry points that compose
+//     other entry points (e.g. the exact-bound tier driving a greedy
+//     incumbent) clamp at the outermost layer, so the counter observes
+//     exactly one event per top-level solve.
 // Before this header each algorithm hand-rolled the k == 0 throw and
 // silently looped past num_nodes; the shared helper makes the contract
 // uniform and observable.
@@ -33,6 +37,7 @@ inline std::size_t checked_budget(const CoverageModel& model, std::size_t k,
   const std::size_t n = model.num_nodes();
   if (k > n) {
     obs::set_gauge("placement.k_clamped", static_cast<double>(k - n));
+    obs::add_counter("placement.k_clamp_events");
     return n;
   }
   return k;

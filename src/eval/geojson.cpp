@@ -9,7 +9,14 @@ namespace rap::eval {
 namespace {
 
 std::string coord(const geo::Point& p) {
-  return "[" + util::format_fixed(p.x, 2) + "," + util::format_fixed(p.y, 2) + "]";
+  // Built piecewise: GCC 12's -Werror=restrict misfires on the
+  // operator+(const char*, std::string&&) chain at -O3.
+  std::string out = "[";
+  out += util::format_fixed(p.x, 2);
+  out += ",";
+  out += util::format_fixed(p.y, 2);
+  out += "]";
+  return out;
 }
 
 class FeatureWriter {

@@ -1,0 +1,112 @@
+// Certified upper bounds on the optimal placement objective (DESIGN.md §16).
+//
+// The placement core can prove greedy quality only where an exact optimum
+// is computable — historically exhaustive search at k <= 4. This tier turns
+// "greedy >= (1 - 1/e) * OPT on toy budgets" into a measured optimality gap
+// at real k by producing a value that provably dominates OPT:
+//
+//   exhaustive  — C(candidates, k) small enough: the bound IS the optimum.
+//   flow        — every useful intersection fits the budget (k >= u): the
+//                 all-open bipartite assignment, solved exactly by min-cost
+//                 flow, equals the optimum.
+//   lagrangian  — the general case. Dualising the one-assignment-per-flow
+//                 constraints with multipliers mu_f >= 0 leaves an inner
+//                 problem — open the <= k intersections with the largest
+//                 reduced-profit scores — that the flow solver answers
+//                 exactly, so every L(mu) is a certified upper bound;
+//                 deterministic integer subgradient steps tighten mu, and
+//                 the best L(mu) seen is returned. When the inner solution
+//                 is primal-feasible and complementary slackness holds, the
+//                 bound equals an achievable placement and `optimal` is set.
+//
+// All bound arithmetic runs in the fixed-point integer domain of
+// src/exact/network.h (profits rounded UP), so the reported value can only
+// over-estimate OPT — soundness survives the float conversion at the edge.
+// Everything is sequential and integer: results are bitwise identical
+// across platforms and RAP_THREADS settings.
+//
+// Utility families. The flow and Lagrangian values bound the per-flow
+// maxima sum_f max_{v in S} w_{fv}, which dominates PlacementState's
+// evaluation for EVERY utility — including order-dependent adversarial
+// families, whose guarded add() can only ever record some placed node's
+// profit per flow. The exhaustive tier and every `optimal` claim
+// additionally assume the paper's non-increasing utilities
+// (BoundOptions::monotone_utility), under which evaluation is
+// order-independent; with that flag false the exhaustive tier is skipped
+// and optimality certification withheld, but `value` stays a sound upper
+// bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/exact/network.h"
+
+namespace rap::exact {
+
+enum class BoundKind {
+  kExhaustive,  ///< exact optimum by exhaustive search
+  kFlow,        ///< exact optimum by all-open min-cost-flow assignment
+  kLagrangian,  ///< Lagrangian-dual upper bound (optimal only if certified)
+};
+
+[[nodiscard]] const char* to_string(BoundKind kind) noexcept;
+
+struct BoundCertificate {
+  /// Best feasible placement the tier produced (the optimum when
+  /// Bound::optimal; an incumbent otherwise).
+  core::Placement nodes;
+  /// Its exact objective under evaluate_placement (a lower bound on OPT).
+  double customers = 0.0;
+  /// Final per-flow Lagrangian multipliers, in customers (empty for the
+  /// exhaustive and flow tiers). Any mu >= 0 re-certifies the bound.
+  std::vector<double> multipliers;
+};
+
+struct Bound {
+  /// Certified upper bound on OPT, in expected customers/day.
+  double value = 0.0;
+  BoundKind kind = BoundKind::kLagrangian;
+  /// Subgradient iterations (lagrangian) or augmenting paths (flow).
+  std::size_t iterations = 0;
+  /// True when the bound provably equals an achievable placement, i.e. the
+  /// certificate is optimal and value - certificate.customers is within the
+  /// fixed-point quantum.
+  bool optimal = false;
+  BoundCertificate certificate;
+};
+
+struct BoundOptions {
+  /// The paper's Theorem 1 assumption: utilities non-increasing in the
+  /// detour, making PlacementState evaluation order-independent. Gates the
+  /// exhaustive tier and every `optimal` claim (see the header comment).
+  /// Set to false for custom non-monotone utilities.
+  bool monotone_utility = true;
+  /// Route through core/exhaustive when C(candidates, k) stays under this
+  /// cap (matches ExhaustiveOptions::max_combinations semantics). The fuzz
+  /// harness disables the tier to force the flow/Lagrangian paths and then
+  /// cross-checks them against the exhaustive optimum.
+  bool exhaustive_tier = true;
+  std::size_t exhaustive_cap = 200'000;
+  /// Disable to force the Lagrangian path even when k >= useful nodes
+  /// (tests of the subgradient loop's budget contract).
+  bool flow_tier = true;
+  /// Subgradient iteration budget; any budget yields a valid bound.
+  std::size_t max_iterations = 100;
+  /// Fixed-point scale handed to build_assignment_network.
+  std::int64_t scale = kDefaultBoundScale;
+};
+
+/// Computes a certified upper bound on the optimal k-RAP objective. Budget
+/// contract (core/k_policy.h): k == 0 throws std::invalid_argument,
+/// k > num_nodes clamps and records the clamp telemetry exactly once.
+[[nodiscard]] Bound certified_upper_bound(const core::CoverageModel& model,
+                                          std::size_t k,
+                                          const BoundOptions& options = {});
+
+/// Relative optimality gap of an achieved objective against a bound:
+/// (value - achieved) / value, clamped to [0, 1]; 0 when the bound is 0.
+[[nodiscard]] double optimality_gap(double achieved, const Bound& bound) noexcept;
+
+}  // namespace rap::exact

@@ -1,0 +1,136 @@
+#include "src/exact/min_cost_flow.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace rap::exact {
+namespace {
+
+constexpr std::int64_t kInfinity = std::numeric_limits<std::int64_t>::max() / 4;
+
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : adj_(num_nodes) {}
+
+std::size_t MinCostFlow::add_arc(std::size_t from, std::size_t to,
+                                 std::int64_t capacity, std::int64_t cost) {
+  if (from >= adj_.size() || to >= adj_.size()) {
+    throw std::invalid_argument("MinCostFlow::add_arc: endpoint out of range");
+  }
+  if (capacity < 0) {
+    throw std::invalid_argument("MinCostFlow::add_arc: negative capacity");
+  }
+  const std::size_t id = arcs_.size();
+  arcs_.push_back({static_cast<std::uint32_t>(to), capacity, cost});
+  arcs_.push_back({static_cast<std::uint32_t>(from), 0, -cost});
+  adj_[from].push_back(static_cast<std::uint32_t>(id));
+  adj_[to].push_back(static_cast<std::uint32_t>(id + 1));
+  return id;
+}
+
+std::int64_t MinCostFlow::flow_on(std::size_t arc) const {
+  if (arc >= arcs_.size()) {
+    throw std::invalid_argument("MinCostFlow::flow_on: arc out of range");
+  }
+  // Flow pushed forward equals the residual capacity of the twin.
+  return arcs_[arc ^ 1].capacity;
+}
+
+MinCostFlow::Result MinCostFlow::solve(std::size_t source, std::size_t sink,
+                                       std::int64_t limit,
+                                       bool stop_when_nonnegative) {
+  if (source >= adj_.size() || sink >= adj_.size()) {
+    throw std::invalid_argument("MinCostFlow::solve: endpoint out of range");
+  }
+  const std::size_t n = adj_.size();
+  Result result;
+  if (limit <= 0 || source == sink) return result;
+
+  // Initial potentials: Bellman–Ford over arcs with residual capacity, so
+  // negative arc costs are admissible. The builder's networks are DAGs; n
+  // rounds are a loud (throwing) guard against a negative cycle rather than
+  // a performance path.
+  std::vector<std::int64_t> potential(n, 0);
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (potential[v] >= kInfinity) continue;
+      for (const std::uint32_t id : adj_[v]) {
+        const Arc& arc = arcs_[id];
+        if (arc.capacity <= 0) continue;
+        const std::int64_t candidate = potential[v] + arc.cost;
+        if (candidate < potential[arc.to]) {
+          potential[arc.to] = candidate;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+    if (round + 1 == n) {
+      throw std::logic_error("MinCostFlow::solve: negative-cost cycle");
+    }
+  }
+
+  std::vector<std::int64_t> dist(n);
+  std::vector<std::uint32_t> parent_arc(n);
+  std::vector<bool> reached(n);
+  using HeapEntry = std::pair<std::int64_t, std::uint32_t>;
+  while (result.flow < limit) {
+    // Dijkstra on reduced costs; (distance, node-id) ordering makes the
+    // scan order — and therefore the chosen path among equals — unique.
+    dist.assign(n, kInfinity);
+    reached.assign(n, false);
+    dist[source] = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    heap.push({0, static_cast<std::uint32_t>(source)});
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (reached[v]) continue;
+      reached[v] = true;
+      for (const std::uint32_t id : adj_[v]) {
+        const Arc& arc = arcs_[id];
+        if (arc.capacity <= 0 || reached[arc.to]) continue;
+        const std::int64_t reduced =
+            arc.cost + potential[v] - potential[arc.to];
+        const std::int64_t candidate = d + reduced;
+        if (candidate < dist[arc.to]) {
+          dist[arc.to] = candidate;
+          parent_arc[arc.to] = id;
+          heap.push({candidate, arc.to});
+        }
+      }
+    }
+    if (!reached[sink]) break;
+    // True path cost before the potential update (telescoping sum).
+    const std::int64_t path_cost =
+        dist[sink] + potential[sink] - potential[source];
+    if (stop_when_nonnegative && path_cost >= 0) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (reached[v]) potential[v] += dist[v];
+    }
+    // Bottleneck along the parent chain, then augment.
+    std::int64_t bottleneck = limit - result.flow;
+    for (std::size_t v = sink; v != source;) {
+      const Arc& arc = arcs_[parent_arc[v]];
+      if (arc.capacity < bottleneck) bottleneck = arc.capacity;
+      v = arcs_[parent_arc[v] ^ 1].to;
+    }
+    for (std::size_t v = sink; v != source;) {
+      arcs_[parent_arc[v]].capacity -= bottleneck;
+      arcs_[parent_arc[v] ^ 1].capacity += bottleneck;
+      v = arcs_[parent_arc[v] ^ 1].to;
+    }
+    result.flow += bottleneck;
+    result.cost += bottleneck * path_cost;
+    ++result.augmentations;
+  }
+  return result;
+}
+
+}  // namespace rap::exact

@@ -1,0 +1,69 @@
+// Deterministic successive-shortest-path min-cost flow (DESIGN.md §16).
+//
+// The exact-bound tier (src/exact/bound.h) needs an optimizer whose result
+// is certified, not approximated, and whose output is bit-identical on
+// every platform and thread count. That rules floating-point pivoting out:
+// every capacity and cost here is a 64-bit integer (the network builder in
+// src/exact/network.h performs the fixed-point scaling), every comparison
+// is integer, and the algorithm is purely sequential — successive shortest
+// augmenting paths with Johnson potentials, Bellman–Ford for the initial
+// potential (arc costs may be negative), then Dijkstra on reduced costs
+// with a (distance, node-id) heap so ties break towards the lowest node id.
+//
+// Preconditions: no negative-cost cycle in the initial network (the
+// builder's networks are bipartite DAGs, which trivially satisfy this) and
+// total cost magnitudes within kMaxCost * kMaxArcsOnPath of the int64
+// range; both are asserted defensively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rap::exact {
+
+class MinCostFlow {
+ public:
+  /// A network on `num_nodes` nodes (ids 0 .. num_nodes-1) and no arcs.
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  /// Adds a directed arc and its zero-capacity residual twin. Returns the
+  /// arc's id for flow_on(). Throws std::invalid_argument on a bad endpoint
+  /// or negative capacity.
+  std::size_t add_arc(std::size_t from, std::size_t to, std::int64_t capacity,
+                      std::int64_t cost);
+
+  struct Result {
+    std::int64_t flow = 0;           ///< units actually sent
+    std::int64_t cost = 0;           ///< total cost of the sent flow
+    std::size_t augmentations = 0;   ///< shortest-path rounds performed
+  };
+
+  /// Sends up to `limit` units from `source` to `sink` along successive
+  /// shortest (cheapest) residual paths. With `stop_when_nonnegative`, stops
+  /// as soon as the cheapest augmenting path has cost >= 0 — the
+  /// profit-maximisation mode used by the bound tier, where costs are
+  /// negated profits and a non-negative path can only lose value.
+  /// Deterministic: identical call sequences yield identical flows.
+  Result solve(std::size_t source, std::size_t sink, std::int64_t limit,
+               bool stop_when_nonnegative = false);
+
+  /// Flow currently on the arc returned by add_arc.
+  [[nodiscard]] std::int64_t flow_on(std::size_t arc) const;
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return adj_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return arcs_.size() / 2; }
+
+ private:
+  struct Arc {
+    std::uint32_t to = 0;
+    std::int64_t capacity = 0;  ///< residual capacity
+    std::int64_t cost = 0;
+  };
+
+  // arcs_[2i] is the i-th forward arc, arcs_[2i + 1] its residual twin.
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<std::uint32_t>> adj_;  ///< arc indices per node
+};
+
+}  // namespace rap::exact

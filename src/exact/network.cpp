@@ -1,0 +1,165 @@
+#include "src/exact/network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rap::exact {
+namespace {
+
+/// Scaled profits stay below 2^52 so sums over every option of a metro
+/// instance fit int64 with headroom.
+constexpr std::int64_t kMaxScaledWeight = std::int64_t{1} << 52;
+
+std::int64_t scale_up(double customers, std::int64_t scale) {
+  const double scaled = std::ceil(customers * static_cast<double>(scale));
+  if (!(scaled < static_cast<double>(kMaxScaledWeight))) {
+    throw std::invalid_argument(
+        "build_assignment_network: scaled profit exceeds the safe integer "
+        "range; use a smaller scale");
+  }
+  return static_cast<std::int64_t>(scaled);
+}
+
+}  // namespace
+
+AssignmentNetwork build_assignment_network(const core::CoverageModel& model,
+                                           std::size_t k, std::int64_t scale) {
+  if (scale <= 0) {
+    throw std::invalid_argument("build_assignment_network: scale must be > 0");
+  }
+  AssignmentNetwork net;
+  net.num_flows = model.num_flows();
+  net.num_model_nodes = model.num_nodes();
+  net.k = k;
+  net.scale = scale;
+
+  // Pass 1: count positive-profit options per flow.
+  std::vector<std::uint32_t> counts(net.num_flows, 0);
+  std::size_t total = 0;
+  for (graph::NodeId v = 0; v < net.num_model_nodes; ++v) {
+    for (const traffic::NodeIncidence& inc : model.reach_at(v)) {
+      if (model.customers(inc.flow, inc.detour) <= 0.0) continue;
+      ++counts[inc.flow];
+      ++total;
+    }
+  }
+  net.flow_start.assign(net.num_flows + 1, 0);
+  for (std::size_t f = 0; f < net.num_flows; ++f) {
+    net.flow_start[f + 1] = net.flow_start[f] + counts[f];
+  }
+  net.option_node.resize(total);
+  net.option_flow.resize(total);
+  net.option_weight.resize(total);
+
+  // Pass 2: fill, walking nodes in ascending id order so each flow's option
+  // list is sorted by intersection id (deterministic layout).
+  std::vector<std::uint32_t> cursor(net.flow_start.begin(),
+                                    net.flow_start.end() - 1);
+  for (graph::NodeId v = 0; v < net.num_model_nodes; ++v) {
+    for (const traffic::NodeIncidence& inc : model.reach_at(v)) {
+      const double customers = model.customers(inc.flow, inc.detour);
+      if (customers <= 0.0) continue;
+      const std::uint32_t at = cursor[inc.flow]++;
+      net.option_node[at] = v;
+      net.option_flow[at] = inc.flow;
+      net.option_weight[at] = scale_up(customers, scale);
+    }
+  }
+
+  // Transpose: useful nodes (ascending) and their option lists.
+  std::vector<std::uint32_t> options_at_node(net.num_model_nodes, 0);
+  for (const std::uint32_t v : net.option_node) ++options_at_node[v];
+  std::vector<std::uint32_t> dense_index(net.num_model_nodes, 0);
+  for (graph::NodeId v = 0; v < net.num_model_nodes; ++v) {
+    if (options_at_node[v] == 0) continue;
+    dense_index[v] = static_cast<std::uint32_t>(net.useful_nodes.size());
+    net.useful_nodes.push_back(v);
+  }
+  net.node_start.assign(net.useful_nodes.size() + 1, 0);
+  for (std::size_t j = 0; j < net.useful_nodes.size(); ++j) {
+    net.node_start[j + 1] =
+        net.node_start[j] + options_at_node[net.useful_nodes[j]];
+  }
+  net.node_option.resize(total);
+  std::vector<std::uint32_t> node_cursor(net.node_start.begin(),
+                                         net.node_start.end() - 1);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint32_t j = dense_index[net.option_node[i]];
+    net.node_option[node_cursor[j]++] = i;
+  }
+  return net;
+}
+
+AssignmentSolution solve_open_assignment(const AssignmentNetwork& network) {
+  const std::size_t m = network.num_flows;
+  const std::size_t u = network.num_useful_nodes();
+  // Layout: 0 = source, 1..m = flows, m+1..m+u = intersections, m+u+1 = sink.
+  const std::size_t source = 0;
+  const std::size_t sink = m + u + 1;
+  MinCostFlow flow(sink + 1);
+  std::int64_t supply = 0;
+  for (std::size_t f = 0; f < m; ++f) {
+    if (network.flow_start[f] == network.flow_start[f + 1]) continue;
+    flow.add_arc(source, 1 + f, 1, 0);
+    ++supply;
+  }
+  // dense_index over useful nodes for arc targets.
+  std::vector<std::uint32_t> dense_index(network.num_model_nodes, 0);
+  for (std::size_t j = 0; j < u; ++j) {
+    dense_index[network.useful_nodes[j]] = static_cast<std::uint32_t>(j);
+  }
+  for (std::size_t f = 0; f < m; ++f) {
+    for (std::uint32_t i = network.flow_start[f];
+         i < network.flow_start[f + 1]; ++i) {
+      flow.add_arc(1 + f, m + 1 + dense_index[network.option_node[i]], 1,
+                   -network.option_weight[i]);
+    }
+  }
+  std::vector<std::size_t> open_arcs(u);
+  for (std::size_t j = 0; j < u; ++j) {
+    const std::int64_t serve_capacity =
+        network.node_start[j + 1] - network.node_start[j];
+    open_arcs[j] = flow.add_arc(m + 1 + j, sink, serve_capacity, 0);
+  }
+  const MinCostFlow::Result result =
+      flow.solve(source, sink, supply, /*stop_when_nonnegative=*/true);
+  AssignmentSolution solution;
+  solution.profit = -result.cost;
+  solution.augmentations = result.augmentations;
+  for (std::size_t j = 0; j < u; ++j) {
+    if (flow.flow_on(open_arcs[j]) > 0) {
+      solution.nodes_used.push_back(network.useful_nodes[j]);
+    }
+  }
+  return solution;
+}
+
+std::vector<std::uint32_t> solve_open_selection(
+    const AssignmentNetwork& network, const std::vector<std::int64_t>& scores) {
+  const std::size_t u = network.num_useful_nodes();
+  if (scores.size() != u) {
+    throw std::invalid_argument(
+        "solve_open_selection: one score per useful node required");
+  }
+  // Layout: 0 = source, 1..u = RAP-open decision arcs' heads, u+1 = sink.
+  MinCostFlow flow(u + 2);
+  std::vector<std::size_t> open_arcs(u);
+  for (std::size_t j = 0; j < u; ++j) {
+    if (scores[j] < 0) {
+      throw std::invalid_argument("solve_open_selection: negative score");
+    }
+    open_arcs[j] = flow.add_arc(0, 1 + j, 1, -scores[j]);
+    flow.add_arc(1 + j, u + 1, 1, 0);
+  }
+  flow.solve(0, u + 1, static_cast<std::int64_t>(network.k),
+             /*stop_when_nonnegative=*/true);
+  std::vector<std::uint32_t> chosen;
+  for (std::size_t j = 0; j < u; ++j) {
+    if (flow.flow_on(open_arcs[j]) > 0) {
+      chosen.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+  return chosen;
+}
+
+}  // namespace rap::exact

@@ -1,0 +1,105 @@
+// Flow-network builder: compiles a placement instance into the capacitated
+// bipartite assignment network the exact-bound tier optimizes over
+// (DESIGN.md §16).
+//
+// The compilation step is where floating point leaves the picture. Every
+// per-(flow, intersection) profit w_{fv} = customers(f, detour_{fv}) is
+// scaled to an integer by ceil(w * scale) — rounding UP, so any bound
+// computed in the scaled domain over-estimates the true objective and
+// remains a valid upper bound after dividing back. The quantisation error
+// is at most num_flows / scale in customer units (see
+// AssignmentNetwork::quantum()), which is the resolution at which the tier
+// can claim two values equal.
+//
+// Two views of the same arrays:
+//   * by flow (flow_start / option_*): the assignment arcs a unit of flow
+//     supply can take — used to price Lagrangian multipliers and to build
+//     the bipartite min-cost-flow instance;
+//   * by useful node (node_start / node_option): the transpose — used to
+//     score RAP-open decision arcs (sum of positive reduced profits at an
+//     intersection).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/problem.h"
+#include "src/exact/min_cost_flow.h"
+
+namespace rap::exact {
+
+/// Default fixed-point scale: ~6 decimal digits of customer resolution.
+inline constexpr std::int64_t kDefaultBoundScale = std::int64_t{1} << 20;
+
+struct AssignmentNetwork {
+  std::size_t num_flows = 0;        ///< model flows (supply units)
+  std::size_t num_model_nodes = 0;  ///< model intersections
+  std::size_t k = 0;                ///< RAP budget (already clamped)
+  std::int64_t scale = kDefaultBoundScale;
+
+  // Assignment options in CSR by flow: option i assigns flow f (with
+  // flow_start[f] <= i < flow_start[f+1]) to intersection option_node[i]
+  // for a scaled profit option_weight[i] = ceil(w_{fv} * scale) >= 1.
+  // Zero-profit pairs are dropped at build time.
+  std::vector<std::uint32_t> flow_start;
+  std::vector<std::uint32_t> option_node;
+  std::vector<std::uint32_t> option_flow;  ///< owning flow per option
+  std::vector<std::int64_t> option_weight;
+
+  // Useful intersections (those with at least one option), ascending, and
+  // the transpose CSR: node_option[node_start[j] .. node_start[j+1]) are
+  // indices into option_* for useful node j.
+  std::vector<graph::NodeId> useful_nodes;
+  std::vector<std::uint32_t> node_start;
+  std::vector<std::uint32_t> node_option;
+
+  [[nodiscard]] std::size_t num_options() const noexcept {
+    return option_node.size();
+  }
+  [[nodiscard]] std::size_t num_useful_nodes() const noexcept {
+    return useful_nodes.size();
+  }
+  /// Scaled value -> customers.
+  [[nodiscard]] double to_customers(std::int64_t scaled) const {
+    return static_cast<double>(scaled) / static_cast<double>(scale);
+  }
+  /// Worst-case quantisation slack of the fixed-point encoding, in
+  /// customers: one ceil() per flow contributing to an objective.
+  [[nodiscard]] double quantum() const {
+    return static_cast<double>(num_flows + 1) / static_cast<double>(scale);
+  }
+};
+
+/// Compiles `model` (with RAP budget `k`, already validated/clamped by the
+/// caller) into the fixed-point assignment network. Throws
+/// std::invalid_argument when a scaled profit would exceed the safe integer
+/// range (pick a smaller scale for such instances).
+[[nodiscard]] AssignmentNetwork build_assignment_network(
+    const core::CoverageModel& model, std::size_t k,
+    std::int64_t scale = kDefaultBoundScale);
+
+/// Result of an exact min-cost-flow solve over the bipartite network.
+struct AssignmentSolution {
+  std::int64_t profit = 0;  ///< scaled; sum of the chosen assignment arcs
+  std::vector<graph::NodeId> nodes_used;  ///< distinct intersections, ascending
+  std::size_t augmentations = 0;
+};
+
+/// Exact maximum-profit assignment with EVERY useful intersection open:
+/// each flow routes (at most once) to one of its options. Solved by
+/// successive shortest paths on the bipartite network; the optimum equals
+/// sum_f max_v w~_{fv}, i.e. the all-open relaxation of the placement
+/// problem, and is therefore a certified upper bound on OPT for any k.
+[[nodiscard]] AssignmentSolution solve_open_assignment(
+    const AssignmentNetwork& network);
+
+/// Exact top-k selection over per-useful-node scores, solved as a min-cost
+/// flow on the RAP-open decision arcs (source -> node, capacity 1, cost
+/// -score). Only strictly profitable arcs are taken, so fewer than k nodes
+/// may be opened. Returns indices into network.useful_nodes, ascending.
+/// `scores[j]` must be >= 0.
+[[nodiscard]] std::vector<std::uint32_t> solve_open_selection(
+    const AssignmentNetwork& network, const std::vector<std::int64_t>& scores);
+
+}  // namespace rap::exact

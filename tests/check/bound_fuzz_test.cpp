@@ -1,0 +1,73 @@
+// Exact-bound fuzz suite (ctest label "exact-fuzz", selected by both
+// `-L exact` and `-L fuzz`): 150+ seeded scenarios where the certified
+// upper bound must dominate every greedy variant, match the exhaustive
+// optimum at toy budgets for monotone utilities, replay its certificate
+// bit-for-bit, and be bitwise identical across thread configurations.
+// A failure prints the seed, the failed checks, and the JSON reproducer.
+#include "src/check/bound_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/check/differential.h"
+
+namespace rap::check {
+namespace {
+
+std::string describe(const BoundFuzzReport& report) {
+  std::string out =
+      "seed " + std::to_string(report.seed) + " failed checks:\n";
+  for (const DiffFailure& failure : report.failures) {
+    out += "  " + failure.check + ": " + failure.detail + "\n";
+  }
+  return out + "reproducer:\n" + report.reproducer_json;
+}
+
+TEST(BoundFuzz, OneHundredFiftySeededScenariosCertify) {
+  std::set<FuzzUtility> families;
+  std::size_t checks = 0;
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    const BoundFuzzReport report = fuzz_bound_one(seed);
+    EXPECT_TRUE(report.ok()) << describe(report);
+    checks += report.checks_run;
+    families.insert(generate_scenario(seed)->utility_kind);
+  }
+  // The contiguous window covers every utility family (seed % 5) — the
+  // adversarial family exercises the non-monotone soundness path — and the
+  // suite ran a meaningful number of comparisons.
+  EXPECT_EQ(families.size(), 5u);
+  EXPECT_GE(checks, 150u * 8u);
+}
+
+TEST(BoundFuzz, HighSeedWindowCertifiesToo) {
+  for (std::uint64_t seed = 4'000'000'000; seed < 4'000'000'030; ++seed) {
+    const BoundFuzzReport report = fuzz_bound_one(seed);
+    EXPECT_TRUE(report.ok()) << describe(report);
+  }
+}
+
+TEST(BoundFuzz, ReportCarriesSeedAndCounts) {
+  const BoundFuzzReport report = fuzz_bound_one(11);
+  EXPECT_EQ(report.seed, 11u);
+  EXPECT_GT(report.checks_run, 0u);
+  EXPECT_TRUE(report.reproducer_json.empty());  // only filled on failure
+}
+
+TEST(BoundFuzz, TightIterationBudgetsStaySound) {
+  // Bounds are valid anywhere in the subgradient schedule, including
+  // before the first iteration (the all-open relaxation).
+  for (const std::size_t budget : {std::size_t{0}, std::size_t{1}}) {
+    BoundFuzzOptions options;
+    options.max_iterations = budget;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      const BoundFuzzReport report = fuzz_bound_one(seed, options);
+      EXPECT_TRUE(report.ok())
+          << "iteration budget " << budget << ": " << describe(report);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rap::check

@@ -66,7 +66,32 @@ TEST(Exhaustive, CombinationBudgetEnforced) {
   ExhaustiveOptions tiny;
   tiny.max_combinations = 2;
   EXPECT_THROW(exhaustive_optimal_placement(problem, 3, tiny),
-               std::runtime_error);
+               std::invalid_argument);
+  // The message names the count and the cap: a complete bug report.
+  try {
+    (void)exhaustive_optimal_placement(problem, 3, tiny);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("combinations"), std::string::npos) << what;
+    EXPECT_NE(what.find("max_combinations = 2"), std::string::npos) << what;
+  }
+}
+
+TEST(Exhaustive, CombinationBudgetBoundaryIsInclusive) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const PlacementProblem problem(fig.net, fig.flows, Fig4::shop, utility);
+  const std::size_t count = exhaustive_combination_count(problem, 2);
+  ASSERT_GT(count, 1u);
+  // count == cap enumerates; cap == count - 1 refuses up front.
+  ExhaustiveOptions at_cap;
+  at_cap.max_combinations = count;
+  EXPECT_NO_THROW((void)exhaustive_optimal_placement(problem, 2, at_cap));
+  ExhaustiveOptions below_cap;
+  below_cap.max_combinations = count - 1;
+  EXPECT_THROW(exhaustive_optimal_placement(problem, 2, below_cap),
+               std::invalid_argument);
 }
 
 TEST(Exhaustive, CombinationCountReasonable) {

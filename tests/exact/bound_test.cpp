@@ -1,0 +1,181 @@
+// Certified-bound tier: tier routing, the shared k-policy contract
+// (core/k_policy.h) on both the flow and Lagrangian paths, soundness
+// against the exhaustive optimum, and certificate replay.
+#include "src/exact/bound.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/composite_greedy.h"
+#include "src/core/evaluator.h"
+#include "src/core/exhaustive.h"
+#include "src/obs/telemetry.h"
+#include "src/traffic/utility.h"
+#include "tests/testing/builders.h"
+
+namespace rap::exact {
+namespace {
+
+using testing::Fig4;
+
+class BoundTest : public ::testing::Test {
+ protected:
+  BoundTest() : problem_(fig_.net, fig_.flows, Fig4::shop, utility_) {}
+
+  Fig4 fig_;
+  traffic::LinearUtility utility_{6.0};
+  core::PlacementProblem problem_;
+};
+
+BoundOptions forced_flow() {
+  BoundOptions options;
+  options.exhaustive_tier = false;  // k >= useful nodes then routes to flow
+  return options;
+}
+
+BoundOptions forced_lagrangian() {
+  BoundOptions options;
+  options.exhaustive_tier = false;
+  options.flow_tier = false;
+  return options;
+}
+
+TEST_F(BoundTest, ZeroBudgetThrowsOnEveryTier) {
+  EXPECT_THROW(certified_upper_bound(problem_, 0), std::invalid_argument);
+  EXPECT_THROW(certified_upper_bound(problem_, 0, forced_flow()),
+               std::invalid_argument);
+  EXPECT_THROW(certified_upper_bound(problem_, 0, forced_lagrangian()),
+               std::invalid_argument);
+}
+
+TEST_F(BoundTest, OverBudgetClampsExactlyOnceOnTheFlowTier) {
+  const std::size_t n = problem_.num_nodes();
+  obs::Telemetry telemetry;
+  Bound bound;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    bound = certified_upper_bound(problem_, n + 7, forced_flow());
+  }
+  // Clamped k == n >= useful nodes, so the flow tier answers.
+  EXPECT_EQ(bound.kind, BoundKind::kFlow);
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("placement.k_clamped").value(),
+                   7.0);
+  // Exactly one clamp event: the tier clamps at the outermost layer and the
+  // algorithms it composes see an already-valid budget.
+  EXPECT_EQ(telemetry.metrics.counter("placement.k_clamp_events").value(), 1u);
+}
+
+TEST_F(BoundTest, OverBudgetClampsExactlyOnceOnTheLagrangianTier) {
+  const std::size_t n = problem_.num_nodes();
+  obs::Telemetry telemetry;
+  Bound bound;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    bound = certified_upper_bound(problem_, n + 3, forced_lagrangian());
+  }
+  EXPECT_EQ(bound.kind, BoundKind::kLagrangian);
+  EXPECT_DOUBLE_EQ(telemetry.metrics.gauge("placement.k_clamped").value(),
+                   3.0);
+  EXPECT_EQ(telemetry.metrics.counter("placement.k_clamp_events").value(), 1u);
+}
+
+TEST_F(BoundTest, InBudgetSolvesRecordNoClampEvent) {
+  obs::Telemetry telemetry;
+  {
+    const obs::TelemetryScope scope(telemetry);
+    (void)certified_upper_bound(problem_, 2, forced_lagrangian());
+  }
+  EXPECT_EQ(telemetry.metrics.counter("placement.k_clamp_events").value(), 0u);
+}
+
+TEST_F(BoundTest, RoutesTiersByInstanceShape) {
+  // Small instance, default options: the bound IS the exhaustive optimum.
+  const Bound exhaustive = certified_upper_bound(problem_, 2);
+  EXPECT_EQ(exhaustive.kind, BoundKind::kExhaustive);
+  EXPECT_TRUE(exhaustive.optimal);
+
+  // Exhaustive disabled with budget >= useful nodes: all-open flow tier.
+  const Bound flow = certified_upper_bound(problem_, 6, forced_flow());
+  EXPECT_EQ(flow.kind, BoundKind::kFlow);
+  EXPECT_TRUE(flow.optimal);
+
+  // Budget below the useful-node count: Lagrangian subgradient.
+  const Bound lagrangian =
+      certified_upper_bound(problem_, 2, forced_lagrangian());
+  EXPECT_EQ(lagrangian.kind, BoundKind::kLagrangian);
+  EXPECT_GE(lagrangian.iterations, 1u);
+  EXPECT_EQ(lagrangian.certificate.multipliers.size(), problem_.num_flows());
+}
+
+TEST_F(BoundTest, EveryTierDominatesTheExhaustiveOptimum) {
+  const double opt = core::exhaustive_optimal_placement(problem_, 2).customers;
+  const AssignmentNetwork net = build_assignment_network(problem_, 2);
+  for (const BoundOptions& options :
+       {BoundOptions{}, forced_flow(), forced_lagrangian()}) {
+    const Bound bound = certified_upper_bound(problem_, 2, options);
+    EXPECT_GE(bound.value + net.quantum(), opt)
+        << "tier " << to_string(bound.kind);
+  }
+}
+
+TEST_F(BoundTest, ExhaustiveTierMatchesTheOptimum) {
+  const core::PlacementResult opt =
+      core::exhaustive_optimal_placement(problem_, 2);
+  const Bound bound = certified_upper_bound(problem_, 2);
+  EXPECT_EQ(bound.kind, BoundKind::kExhaustive);
+  EXPECT_DOUBLE_EQ(bound.value, opt.customers);
+  EXPECT_DOUBLE_EQ(bound.certificate.customers, opt.customers);
+}
+
+TEST_F(BoundTest, CertificatesReplayThroughEvaluatePlacement) {
+  for (const BoundOptions& options :
+       {BoundOptions{}, forced_flow(), forced_lagrangian()}) {
+    const Bound bound = certified_upper_bound(problem_, 2, options);
+    EXPECT_EQ(core::evaluate_placement(problem_, bound.certificate.nodes),
+              bound.certificate.customers)
+        << "tier " << to_string(bound.kind);
+    EXPECT_LE(bound.certificate.customers, bound.value);
+    EXPECT_LE(bound.certificate.nodes.size(), 2u);
+  }
+}
+
+TEST_F(BoundTest, LagrangianDominatesGreedyOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    util::Rng rng(seed + 17);
+    const auto net = testing::random_network(4, 4, 4, rng);
+    const auto flows = testing::random_flows(net, 12, rng);
+    const traffic::LinearUtility utility(5.0);
+    const core::PlacementProblem problem(net, flows, 0, utility);
+    const Bound bound = certified_upper_bound(problem, 3, forced_lagrangian());
+    const core::PlacementResult greedy =
+        core::composite_greedy_placement(problem, 3);
+    const AssignmentNetwork an = build_assignment_network(problem, 3);
+    EXPECT_GE(bound.value + an.quantum(), greedy.customers) << "seed " << seed;
+    const double gap = optimality_gap(greedy.customers, bound);
+    EXPECT_GE(gap, 0.0);
+    EXPECT_LE(gap, 1.0);
+  }
+}
+
+TEST_F(BoundTest, ZeroIterationBudgetStillYieldsASoundBound) {
+  BoundOptions options = forced_lagrangian();
+  options.max_iterations = 0;
+  const Bound bound = certified_upper_bound(problem_, 2, options);
+  const double opt = core::exhaustive_optimal_placement(problem_, 2).customers;
+  EXPECT_GE(bound.value, opt - 1e-9);  // the all-open relaxation
+  EXPECT_EQ(bound.iterations, 0u);
+}
+
+TEST(OptimalityGap, ClampsToTheUnitInterval) {
+  Bound bound;
+  bound.value = 100.0;
+  EXPECT_DOUBLE_EQ(optimality_gap(90.0, bound), 0.1);
+  EXPECT_DOUBLE_EQ(optimality_gap(120.0, bound), 0.0);  // achieved > bound
+  EXPECT_DOUBLE_EQ(optimality_gap(-5.0, bound), 1.0);
+  bound.value = 0.0;
+  EXPECT_DOUBLE_EQ(optimality_gap(0.0, bound), 0.0);
+}
+
+}  // namespace
+}  // namespace rap::exact

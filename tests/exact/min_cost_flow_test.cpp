@@ -1,0 +1,138 @@
+#include "src/exact/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace rap::exact {
+namespace {
+
+// 2x2 assignment: worker 1 is cheap on job A, worker 2 on job B; the
+// min-cost perfect matching takes the diagonal.
+TEST(MinCostFlow, SolvesTextbookAssignment) {
+  MinCostFlow net(6);  // 0 source, 1-2 workers, 3-4 jobs, 5 sink
+  net.add_arc(0, 1, 1, 0);
+  net.add_arc(0, 2, 1, 0);
+  const std::size_t w1_a = net.add_arc(1, 3, 1, 1);
+  const std::size_t w1_b = net.add_arc(1, 4, 1, 9);
+  const std::size_t w2_a = net.add_arc(2, 3, 1, 9);
+  const std::size_t w2_b = net.add_arc(2, 4, 1, 2);
+  net.add_arc(3, 5, 1, 0);
+  net.add_arc(4, 5, 1, 0);
+
+  const MinCostFlow::Result result = net.solve(0, 5, 2);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_EQ(result.cost, 3);
+  EXPECT_EQ(net.flow_on(w1_a), 1);
+  EXPECT_EQ(net.flow_on(w2_b), 1);
+  EXPECT_EQ(net.flow_on(w1_b), 0);
+  EXPECT_EQ(net.flow_on(w2_a), 0);
+}
+
+TEST(MinCostFlow, HandlesNegativeArcCosts) {
+  // Negative costs are the normal case for the bound tier (negated
+  // profits); Bellman-Ford potentials make Dijkstra admissible.
+  MinCostFlow net(4);
+  const std::size_t cheap = net.add_arc(0, 1, 1, -10);
+  net.add_arc(1, 3, 1, 0);
+  const std::size_t dear = net.add_arc(0, 2, 1, -3);
+  net.add_arc(2, 3, 1, 0);
+  const MinCostFlow::Result result = net.solve(0, 3, 1);
+  EXPECT_EQ(result.flow, 1);
+  EXPECT_EQ(result.cost, -10);
+  EXPECT_EQ(net.flow_on(cheap), 1);
+  EXPECT_EQ(net.flow_on(dear), 0);
+}
+
+TEST(MinCostFlow, StopWhenNonnegativeTakesOnlyProfitablePaths) {
+  MinCostFlow net(4);
+  net.add_arc(0, 1, 1, -5);  // profitable
+  net.add_arc(1, 3, 1, 0);
+  net.add_arc(0, 2, 1, 4);  // would lose value
+  net.add_arc(2, 3, 1, 0);
+  const MinCostFlow::Result result =
+      net.solve(0, 3, 2, /*stop_when_nonnegative=*/true);
+  EXPECT_EQ(result.flow, 1);
+  EXPECT_EQ(result.cost, -5);
+  EXPECT_EQ(result.augmentations, 1u);
+}
+
+TEST(MinCostFlow, RespectsFlowLimit) {
+  MinCostFlow net(2);
+  net.add_arc(0, 1, 10, 1);
+  const MinCostFlow::Result result = net.solve(0, 1, 3);
+  EXPECT_EQ(result.flow, 3);
+  EXPECT_EQ(result.cost, 3);
+}
+
+TEST(MinCostFlow, PicksBottleneckAcrossThePath) {
+  MinCostFlow net(3);
+  net.add_arc(0, 1, 5, 0);
+  net.add_arc(1, 2, 2, 0);  // the bottleneck
+  const MinCostFlow::Result result = net.solve(0, 2, 10);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_EQ(result.augmentations, 1u);
+}
+
+TEST(MinCostFlow, IsDeterministicAcrossIdenticalRuns) {
+  const auto build_and_solve = [] {
+    MinCostFlow net(8);
+    std::vector<std::size_t> arcs;
+    for (std::size_t f = 1; f <= 3; ++f) net.add_arc(0, f, 1, 0);
+    for (std::size_t f = 1; f <= 3; ++f) {
+      for (std::size_t v = 4; v <= 6; ++v) {
+        arcs.push_back(net.add_arc(f, v, 1, -static_cast<std::int64_t>(f * v)));
+      }
+    }
+    for (std::size_t v = 4; v <= 6; ++v) net.add_arc(v, 7, 1, 0);
+    const MinCostFlow::Result result = net.solve(0, 7, 3, true);
+    std::vector<std::int64_t> flows;
+    for (const std::size_t arc : arcs) flows.push_back(net.flow_on(arc));
+    return std::make_pair(result, flows);
+  };
+  const auto [first, first_flows] = build_and_solve();
+  const auto [second, second_flows] = build_and_solve();
+  EXPECT_EQ(first.flow, second.flow);
+  EXPECT_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.augmentations, second.augmentations);
+  EXPECT_EQ(first_flows, second_flows);
+}
+
+TEST(MinCostFlow, EqualCostTiesResolveToTheFirstAddedArc) {
+  MinCostFlow net(4);
+  const std::size_t first = net.add_arc(0, 1, 1, 1);
+  net.add_arc(1, 3, 1, 0);
+  const std::size_t second = net.add_arc(0, 2, 1, 1);
+  net.add_arc(2, 3, 1, 0);
+  (void)net.solve(0, 3, 1);
+  // Both routes cost 1; strict-less relaxation keeps the first label.
+  EXPECT_EQ(net.flow_on(first), 1);
+  EXPECT_EQ(net.flow_on(second), 0);
+}
+
+TEST(MinCostFlow, ValidatesInputs) {
+  MinCostFlow net(2);
+  EXPECT_THROW(net.add_arc(0, 2, 1, 0), std::invalid_argument);
+  EXPECT_THROW(net.add_arc(2, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(net.add_arc(0, 1, -1, 0), std::invalid_argument);
+  EXPECT_THROW(net.solve(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(net.flow_on(99), std::invalid_argument);
+}
+
+TEST(MinCostFlow, ZeroLimitAndSelfSolveAreNoOps) {
+  MinCostFlow net(2);
+  net.add_arc(0, 1, 1, -1);
+  EXPECT_EQ(net.solve(0, 1, 0).flow, 0);
+  EXPECT_EQ(net.solve(0, 0, 5).flow, 0);
+}
+
+TEST(MinCostFlow, NegativeCycleThrowsInsteadOfLooping) {
+  MinCostFlow net(2);
+  net.add_arc(0, 1, 1, -2);
+  net.add_arc(1, 0, 1, 1);
+  EXPECT_THROW(net.solve(0, 1, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rap::exact

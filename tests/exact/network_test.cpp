@@ -1,0 +1,159 @@
+#include "src/exact/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/core/problem.h"
+#include "src/traffic/utility.h"
+#include "tests/testing/builders.h"
+
+namespace rap::exact {
+namespace {
+
+using testing::Fig4;
+
+core::PlacementProblem fig4_problem(const Fig4& fig,
+                                    const traffic::UtilityFunction& utility) {
+  return {fig.net, fig.flows, Fig4::shop, utility};
+}
+
+TEST(AssignmentNetwork, CsrViewsAreConsistent) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const auto problem = fig4_problem(fig, utility);
+  const AssignmentNetwork net = build_assignment_network(problem, 2);
+
+  ASSERT_EQ(net.num_flows, problem.num_flows());
+  ASSERT_EQ(net.flow_start.size(), net.num_flows + 1);
+  EXPECT_EQ(net.flow_start.back(), net.num_options());
+  EXPECT_EQ(net.node_start.back(), net.num_options());
+  EXPECT_TRUE(std::is_sorted(net.useful_nodes.begin(), net.useful_nodes.end()));
+
+  // Forward CSR: option i belongs to the flow whose slice covers i.
+  for (std::size_t f = 0; f < net.num_flows; ++f) {
+    for (std::uint32_t i = net.flow_start[f]; i < net.flow_start[f + 1]; ++i) {
+      EXPECT_EQ(net.option_flow[i], f);
+      EXPECT_GE(net.option_weight[i], 1);  // zero-profit options are dropped
+    }
+  }
+  // Transpose CSR covers every option exactly once, at the right node.
+  std::vector<int> seen(net.num_options(), 0);
+  for (std::size_t j = 0; j < net.num_useful_nodes(); ++j) {
+    for (std::uint32_t at = net.node_start[j]; at < net.node_start[j + 1];
+         ++at) {
+      const std::uint32_t i = net.node_option[at];
+      EXPECT_EQ(net.option_node[i], net.useful_nodes[j]);
+      ++seen[i];
+    }
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), 1),
+            static_cast<std::ptrdiff_t>(net.num_options()));
+}
+
+TEST(AssignmentNetwork, CeilScalingNeverUnderestimates) {
+  Fig4 fig;
+  const traffic::SqrtUtility utility(6.0);  // irrational profits
+  const auto problem = fig4_problem(fig, utility);
+  const AssignmentNetwork net = build_assignment_network(problem, 2);
+  for (graph::NodeId v = 0; v < problem.num_nodes(); ++v) {
+    for (const traffic::NodeIncidence& inc : problem.reach_at(v)) {
+      const double w = problem.customers(inc.flow, inc.detour);
+      if (w <= 0.0) continue;
+      // Find the option for (flow, v) and check w~ / scale >= w.
+      bool found = false;
+      for (std::uint32_t i = net.flow_start[inc.flow];
+           i < net.flow_start[inc.flow + 1]; ++i) {
+        if (net.option_node[i] != v) continue;
+        found = true;
+        EXPECT_GE(net.to_customers(net.option_weight[i]), w);
+        EXPECT_LT(net.to_customers(net.option_weight[i]) - w,
+                  2.0 / static_cast<double>(net.scale));
+      }
+      EXPECT_TRUE(found) << "flow " << inc.flow << " node " << v;
+    }
+  }
+}
+
+TEST(AssignmentNetwork, RejectsBadScales) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const auto problem = fig4_problem(fig, utility);
+  EXPECT_THROW(build_assignment_network(problem, 2, 0), std::invalid_argument);
+  EXPECT_THROW(build_assignment_network(problem, 2, -8), std::invalid_argument);
+  // Profits of a few customers times 2^52 overflow the safe scaled range.
+  EXPECT_THROW(build_assignment_network(problem, 2, std::int64_t{1} << 52),
+               std::invalid_argument);
+}
+
+TEST(AssignmentNetwork, OpenAssignmentEqualsSumOfPerFlowMaxima) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const auto problem = fig4_problem(fig, utility);
+  const AssignmentNetwork net = build_assignment_network(problem, 2);
+
+  std::int64_t want = 0;
+  for (std::size_t f = 0; f < net.num_flows; ++f) {
+    std::int64_t best = 0;
+    for (std::uint32_t i = net.flow_start[f]; i < net.flow_start[f + 1]; ++i) {
+      best = std::max(best, net.option_weight[i]);
+    }
+    want += best;
+  }
+  const AssignmentSolution solution = solve_open_assignment(net);
+  EXPECT_EQ(solution.profit, want);
+  EXPECT_TRUE(std::is_sorted(solution.nodes_used.begin(),
+                             solution.nodes_used.end()));
+  for (const graph::NodeId v : solution.nodes_used) {
+    EXPECT_TRUE(std::binary_search(net.useful_nodes.begin(),
+                                   net.useful_nodes.end(), v));
+  }
+}
+
+TEST(AssignmentNetwork, OpenSelectionPicksTopKStrictlyProfitable) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const auto problem = fig4_problem(fig, utility);
+  AssignmentNetwork net = build_assignment_network(problem, 2);
+  ASSERT_GE(net.num_useful_nodes(), 3u);
+
+  std::vector<std::int64_t> scores(net.num_useful_nodes(), 0);
+  scores[0] = 5;
+  scores[1] = 9;
+  scores[2] = 7;
+  const std::vector<std::uint32_t> top2 = solve_open_selection(net, scores);
+  EXPECT_EQ(top2, (std::vector<std::uint32_t>{1, 2}));
+
+  // Zero-score nodes are never opened, even with budget to spare.
+  net.k = net.num_useful_nodes();
+  std::vector<std::int64_t> one_hot(net.num_useful_nodes(), 0);
+  one_hot[2] = 3;
+  EXPECT_EQ(solve_open_selection(net, one_hot),
+            (std::vector<std::uint32_t>{2}));
+}
+
+TEST(AssignmentNetwork, OpenSelectionValidatesScores) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const auto problem = fig4_problem(fig, utility);
+  const AssignmentNetwork net = build_assignment_network(problem, 2);
+  EXPECT_THROW(solve_open_selection(net, {}), std::invalid_argument);
+  std::vector<std::int64_t> negative(net.num_useful_nodes(), -1);
+  EXPECT_THROW(solve_open_selection(net, negative), std::invalid_argument);
+}
+
+TEST(AssignmentNetwork, QuantumIsTheClaimedResolution) {
+  Fig4 fig;
+  const traffic::LinearUtility utility(6.0);
+  const auto problem = fig4_problem(fig, utility);
+  const AssignmentNetwork net = build_assignment_network(problem, 2);
+  EXPECT_DOUBLE_EQ(net.quantum(),
+                   static_cast<double>(net.num_flows + 1) /
+                       static_cast<double>(net.scale));
+  EXPECT_DOUBLE_EQ(net.to_customers(net.scale), 1.0);
+}
+
+}  // namespace
+}  // namespace rap::exact

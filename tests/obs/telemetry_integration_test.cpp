@@ -61,19 +61,24 @@ TEST(TelemetryIntegration, PipelineEmitsDocumentedSchema) {
   // Acceptance contract: per-stage spans, algorithm iteration counters
   // (including lazy-greedy gain evaluations), histogram percentiles.
   EXPECT_NE(json.find(R"("schema":"rap.telemetry.v1")"), std::string::npos);
+  // Needles built with += appends: GCC 12's -Werror=restrict misfires on
+  // the operator+(const char*, std::string&&) chain at -O3.
   for (const char* name :
        {"pipeline", "model_build", "placement", "lazy_greedy",
         "composite_greedy"}) {
-    EXPECT_NE(json.find("\"name\":\"" + std::string(name) + "\""),
-              std::string::npos)
-        << "missing span " << name;
+    std::string needle = "\"name\":\"";
+    needle += name;
+    needle += '"';
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing span " << name;
   }
   for (const char* counter :
        {"lazy_greedy.gain_evaluations", "lazy_greedy.selections",
         "composite_greedy.iterations", "composite_greedy.gain_evaluations",
         "dijkstra.nodes_settled", "dijkstra.heap_pushes"}) {
-    EXPECT_NE(json.find("\"" + std::string(counter) + "\":"),
-              std::string::npos)
+    std::string needle = "\"";
+    needle += counter;
+    needle += "\":";
+    EXPECT_NE(json.find(needle), std::string::npos)
         << "missing counter " << counter;
   }
   EXPECT_NE(json.find(R"("placement.selected_gain")"), std::string::npos);

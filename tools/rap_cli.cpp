@@ -24,6 +24,10 @@
 //   --algorithm=alg1|alg2|lazy|local|maxcustomers|maxcardinality|
 //               maxvehicles|random                 (default alg2)
 //   --k=N                        number of RAPs
+//   --optgap                     additionally compute a certified upper
+//                                bound on OPT (src/exact, DESIGN.md §16) and
+//                                report the optimality gap of the placement:
+//                                gap = (bound - achieved) / bound
 //   --oracle=auto|dijkstra|dense|bidijkstra|alt   detour engine (DESIGN.md
 //                                §13): "auto" keeps per-shop Dijkstras up to
 //                                --oracle-node-limit intersections and
@@ -60,6 +64,7 @@
 #include "src/core/lazy_greedy.h"
 #include "src/core/local_search.h"
 #include "src/eval/geojson.h"
+#include "src/exact/bound.h"
 #include "src/graph/io.h"
 #include "src/obs/json.h"
 #include "src/obs/telemetry.h"
@@ -327,6 +332,24 @@ int main(int argc, char** argv) {
                 << " expected customers/day\n  intersections:";
       for (const graph::NodeId v : result->nodes) std::cout << " " << v;
       std::cout << "\n";
+    }
+
+    // 3b. Optional certified optimality gap.
+    if (flags.get_bool("optgap", false)) {
+      const obs::Span span("certified_bound");
+      const exact::Bound bound = exact::certified_upper_bound(*problem, k);
+      const double gap = exact::optimality_gap(result->customers, bound);
+      obs::set_gauge("exact.upper_bound", bound.value);
+      obs::set_gauge("exact.gap", gap);
+      if (!quiet) {
+        std::cout << "certified upper bound: "
+                  << util::format_fixed(bound.value, 1) << " customers/day ("
+                  << exact::to_string(bound.kind) << " tier, "
+                  << bound.iterations << " iteration(s)"
+                  << (bound.optimal ? ", provably optimal" : "")
+                  << ")\n  optimality gap: <= "
+                  << util::format_fixed(gap * 100.0, 2) << "%\n";
+      }
     }
 
     // 4. Optional outputs.

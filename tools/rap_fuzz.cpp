@@ -1,9 +1,10 @@
-// Differential fuzzer driver (DESIGN.md §9, §11).
+// Differential fuzzer driver (DESIGN.md §9, §11, §16).
 //
 //   rap_fuzz --scenarios=500 --seed=1 --dump-dir=fuzz_failures
 //   rap_fuzz --family=delta --scenarios=200 --seed=1
+//   rap_fuzz --family=list
 //
-// Families:
+// Families (rap_fuzz --family=list prints this registry):
 //   core   — run_differential_checks over consecutive seeds: algorithm
 //            cross-checks, oracle comparisons, audit invariants (default);
 //   delta  — serve-layer incremental updates: replay random delta sequences
@@ -13,27 +14,77 @@
 //            the dense APSP matrix: distances, detours and placements must
 //            be bitwise identical, serial and parallel, cached and uncached
 //            (DESIGN.md §13);
+//   exact  — certified upper bounds (src/exact): soundness against every
+//            greedy family, exactness against the exhaustive optimum at toy
+//            budgets, certificate replay, and bitwise serial-vs-parallel
+//            determinism (DESIGN.md §16);
 //   all    — every family.
 //
-// On a core failure, prints every violated check and writes the scenario's
-// JSON reproducer ("rap.fuzz.scenario.v1") to `dump-dir` (when given) as
-// fuzz_seed_<seed>.json, then exits 1. The seed alone already reproduces
-// the instance deterministically; the dump makes it inspectable without
-// re-running the generator. Delta failures are reported by seed + round
-// (the seed replays the whole delta sequence).
+// On a core/oracle/exact failure, prints every violated check and writes the
+// scenario's JSON reproducer ("rap.fuzz.scenario.v1") to `dump-dir` (when
+// given) as fuzz[_<family>]_seed_<seed>.json, then exits 1. The seed alone
+// already reproduces the instance deterministically; the dump makes it
+// inspectable without re-running the generator. Delta failures are reported
+// by seed + round (the seed replays the whole delta sequence).
 #include <cstdint>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
+#include "src/check/bound_oracle.h"
 #include "src/check/differential.h"
 #include "src/check/oracle_fuzz.h"
 #include "src/serve/delta_fuzz.h"
 #include "src/util/cli.h"
 
 namespace {
+
+/// The family registry: names accepted by --family, in the order `list`
+/// prints them. Adding a family here is the complete registration — the
+/// validator and the listing both read this table.
+struct FamilyInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+constexpr FamilyInfo kFamilies[] = {
+    {"core", "algorithm differential checks (default)"},
+    {"delta", "serve-layer incremental updates vs from-scratch greedy"},
+    {"oracle", "distance-oracle backends vs dense APSP"},
+    {"exact", "certified upper bounds: soundness, exactness, determinism"},
+    {"all", "every family above"},
+};
+
+bool known_family(std::string_view family) {
+  for (const FamilyInfo& info : kFamilies) {
+    if (family == info.name) return true;
+  }
+  return false;
+}
+
+void print_families(std::ostream& out) {
+  out << "rap_fuzz families:\n";
+  for (const FamilyInfo& info : kFamilies) {
+    out << "  " << info.name << " — " << info.summary << "\n";
+  }
+}
+
+void dump_reproducer(const std::string& dump_dir, const std::string& filename,
+                     const std::string& reproducer_json) {
+  if (!dump_dir.empty()) {
+    const std::filesystem::path path =
+        std::filesystem::path(dump_dir) / filename;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << reproducer_json;
+    std::cerr << "  reproducer: " << path.string() << "\n";
+  } else {
+    std::cerr << "  reproducer (pass --dump-dir to write to a file):\n"
+              << reproducer_json;
+  }
+}
 
 std::uint64_t run_core_family(std::uint64_t first_seed, std::uint64_t scenarios,
                               const std::string& dump_dir,
@@ -51,18 +102,8 @@ std::uint64_t run_core_family(std::uint64_t first_seed, std::uint64_t scenarios,
     for (const rap::check::DiffFailure& failure : report.failures) {
       std::cerr << "  " << failure.check << ": " << failure.detail << "\n";
     }
-    if (!dump_dir.empty()) {
-      const std::filesystem::path path =
-          std::filesystem::path(dump_dir) /
-          ("fuzz_seed_" + std::to_string(seed) + ".json");
-      std::filesystem::create_directories(path.parent_path());
-      std::ofstream out(path);
-      out << report.reproducer_json;
-      std::cerr << "  reproducer: " << path.string() << "\n";
-    } else {
-      std::cerr << "  reproducer (pass --dump-dir to write to a file):\n"
-                << report.reproducer_json;
-    }
+    dump_reproducer(dump_dir, "fuzz_seed_" + std::to_string(seed) + ".json",
+                    report.reproducer_json);
   }
   std::cout << "rap_fuzz: core: " << scenarios << " scenario(s), " << checks
             << " check(s), " << failures << " failing scenario(s)\n";
@@ -115,20 +156,38 @@ std::uint64_t run_oracle_family(std::uint64_t first_seed,
     for (const rap::check::DiffFailure& failure : report.failures) {
       std::cerr << "  " << failure.check << ": " << failure.detail << "\n";
     }
-    if (!dump_dir.empty()) {
-      const std::filesystem::path path =
-          std::filesystem::path(dump_dir) /
-          ("fuzz_oracle_seed_" + std::to_string(seed) + ".json");
-      std::filesystem::create_directories(path.parent_path());
-      std::ofstream out(path);
-      out << report.reproducer_json;
-      std::cerr << "  reproducer: " << path.string() << "\n";
-    } else {
-      std::cerr << "  reproducer (pass --dump-dir to write to a file):\n"
-                << report.reproducer_json;
-    }
+    dump_reproducer(dump_dir,
+                    "fuzz_oracle_seed_" + std::to_string(seed) + ".json",
+                    report.reproducer_json);
   }
   std::cout << "rap_fuzz: oracle: " << scenarios << " scenario(s), " << checks
+            << " check(s), " << failures << " failing scenario(s)\n";
+  return failures;
+}
+
+std::uint64_t run_exact_family(std::uint64_t first_seed,
+                               std::uint64_t scenarios,
+                               const std::string& dump_dir,
+                               const rap::check::BoundFuzzOptions& options) {
+  std::uint64_t failures = 0;
+  std::size_t checks = 0;
+  for (std::uint64_t i = 0; i < scenarios; ++i) {
+    const std::uint64_t seed = first_seed + i;
+    const rap::check::BoundFuzzReport report =
+        rap::check::fuzz_bound_one(seed, options);
+    checks += report.checks_run;
+    if (report.ok()) continue;
+    ++failures;
+    std::cerr << "FAIL exact seed " << seed << " (" << report.failures.size()
+              << " check(s)):\n";
+    for (const rap::check::DiffFailure& failure : report.failures) {
+      std::cerr << "  " << failure.check << ": " << failure.detail << "\n";
+    }
+    dump_reproducer(dump_dir,
+                    "fuzz_exact_seed_" + std::to_string(seed) + ".json",
+                    report.reproducer_json);
+  }
+  std::cout << "rap_fuzz: exact: " << scenarios << " scenario(s), " << checks
             << " check(s), " << failures << " failing scenario(s)\n";
   return failures;
 }
@@ -143,14 +202,20 @@ int run(int argc, char** argv) {
   rap::check::DiffOptions options;
   options.parallel_threads =
       static_cast<std::size_t>(flags.get_int("threads", 4));
+  rap::check::BoundFuzzOptions bound_options;
+  bound_options.parallel_threads = options.parallel_threads;
   for (const std::string& unknown : flags.unused()) {
     std::cerr << "rap_fuzz: unknown flag --" << unknown << "\n";
     return 2;
   }
-  if (family != "core" && family != "delta" && family != "oracle" &&
-      family != "all") {
-    std::cerr << "rap_fuzz: unknown --family '" << family
-              << "' (core|delta|oracle|all)\n";
+  if (family == "list") {
+    print_families(std::cout);
+    return 0;
+  }
+  if (!known_family(family)) {
+    std::cerr << "rap_fuzz: " << (family.empty() ? "missing" : "unknown")
+              << " --family '" << family << "'\n";
+    print_families(std::cerr);
     return 2;
   }
 
@@ -163,6 +228,10 @@ int run(int argc, char** argv) {
   }
   if (family == "oracle" || family == "all") {
     failures += run_oracle_family(first_seed, scenarios, dump_dir);
+  }
+  if (family == "exact" || family == "all") {
+    failures += run_exact_family(first_seed, scenarios, dump_dir,
+                                 bound_options);
   }
   return failures == 0 ? 0 : 1;
 }

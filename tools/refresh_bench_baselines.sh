@@ -13,7 +13,7 @@ repo="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 build="${1:-"$repo/build"}"
 
 cmake --build "$build" -j --target \
-  serve_throughput parallel_speedup audit_overhead scale bench_compare
+  serve_throughput parallel_speedup audit_overhead scale exact bench_compare
 
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
@@ -25,6 +25,7 @@ trap 'rm -rf "$scratch"' EXIT
 # The metro-scale run (~10^5 nodes, 10^5 flows) takes a few minutes of
 # point-to-point oracle warm; budget accordingly.
 "$build/bench/scale"             --out="$scratch/BENCH_scale.json"
+"$build/bench/exact"             --out="$scratch/BENCH_exact.json"
 
 "$build/tools/bench_compare/bench_compare" \
   --baseline="$repo/bench/baselines" --current="$scratch" --update
